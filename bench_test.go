@@ -1,0 +1,290 @@
+// Benchmarks regenerating the paper's evaluation (§6): one benchmark per
+// table/figure, each delegating to the same harness code that
+// cmd/tvqbench runs at full scale. Benchmarks run at reduced scale
+// (fewer frames, proportionally smaller windows) so `go test -bench=.`
+// finishes in minutes; run `go run ./cmd/tvqbench -exp all` for the
+// paper-scale numbers recorded in EXPERIMENTS.md.
+package tvq_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tvq"
+	"tvq/internal/bench"
+	"tvq/internal/core"
+	"tvq/internal/engine"
+	"tvq/internal/video"
+	"tvq/internal/vr"
+)
+
+// benchScale shrinks datasets for testing.B runs: frame counts, windows
+// and durations are divided by this factor.
+const benchScale = 6
+
+func benchConfig() bench.Config { return bench.Config{Seed: 1, Scale: benchScale} }
+
+// loadBenchDataset caches generated traces across benchmarks.
+var benchDatasets = map[string]*bench.Dataset{}
+
+func loadBenchDataset(b *testing.B, name string) *bench.Dataset {
+	b.Helper()
+	if ds, ok := benchDatasets[name]; ok {
+		return ds
+	}
+	ds, err := benchConfig().LoadDataset(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDatasets[name] = ds
+	return ds
+}
+
+func newGen(method string, cfg core.Config) core.Generator {
+	switch method {
+	case "NAIVE":
+		return core.NewNaive(cfg)
+	case "MFS":
+		return core.NewMFS(cfg)
+	case "SSG":
+		return core.NewSSG(cfg)
+	}
+	panic("unknown method")
+}
+
+func scaled(v int) int {
+	s := v / benchScale
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// BenchmarkTable6Stats regenerates the dataset statistics of Table 6.
+func BenchmarkTable6Stats(b *testing.B) {
+	for _, name := range bench.DatasetNames() {
+		ds := loadBenchDataset(b, name)
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := vr.ComputeStats(ds.Trace)
+				if st.Frames == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// mcosBench drives one generator over one dataset — the primitive behind
+// Figures 4-7.
+func mcosBench(b *testing.B, name, method string, cfg core.Config, trace *vr.Trace) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gen := newGen(method, cfg)
+		for _, f := range trace.Frames() {
+			gen.Process(f)
+		}
+	}
+}
+
+// BenchmarkFigure4 measures MCOS generation time over full dataset
+// prefixes for the three methods (Figure 4 varies the prefix length; the
+// benchmark runs the longest prefix — the figure's rightmost point).
+func BenchmarkFigure4(b *testing.B) {
+	cfg := core.Config{Window: scaled(bench.DefaultWindow), Duration: scaled(bench.DefaultDuration)}
+	for _, name := range bench.DatasetNames() {
+		ds := loadBenchDataset(b, name)
+		for _, m := range bench.MCOSMethods {
+			b.Run(name+"/"+m, func(b *testing.B) {
+				mcosBench(b, name, m, cfg, ds.Trace)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5 sweeps the duration parameter d (one sub-benchmark per
+// d value, V1 and M2 panels).
+func BenchmarkFigure5(b *testing.B) {
+	for _, name := range []string{"V1", "M2"} {
+		ds := loadBenchDataset(b, name)
+		for _, d := range []int{180, 210, 240, 270} {
+			cfg := core.Config{Window: scaled(bench.DefaultWindow), Duration: scaled(d)}
+			for _, m := range bench.MCOSMethods {
+				b.Run(fmt.Sprintf("%s/d=%d/%s", name, d, m), func(b *testing.B) {
+					mcosBench(b, name, m, cfg, ds.Trace)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 sweeps the window size w (V1 and M2 panels).
+func BenchmarkFigure6(b *testing.B) {
+	for _, name := range []string{"V1", "M2"} {
+		ds := loadBenchDataset(b, name)
+		for _, w := range []int{300, 400, 500, 600} {
+			cfg := core.Config{Window: scaled(w), Duration: scaled(bench.DefaultDuration)}
+			for _, m := range bench.MCOSMethods {
+				b.Run(fmt.Sprintf("%s/w=%d/%s", name, w, m), func(b *testing.B) {
+					mcosBench(b, name, m, cfg, ds.Trace)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 sweeps the occlusion parameter po (id reuse).
+func BenchmarkFigure7(b *testing.B) {
+	cfg := core.Config{Window: scaled(bench.DefaultWindow), Duration: scaled(bench.DefaultDuration)}
+	for _, name := range []string{"V1", "M2"} {
+		ds := loadBenchDataset(b, name)
+		for _, po := range []int{0, 1, 2, 3} {
+			trace := video.ReuseIDs(ds.Trace, po, 7)
+			for _, m := range bench.MCOSMethods {
+				b.Run(fmt.Sprintf("%s/po=%d/%s", name, po, m), func(b *testing.B) {
+					mcosBench(b, name, m, cfg, trace)
+				})
+			}
+		}
+	}
+}
+
+func engineBench(b *testing.B, ds *bench.Dataset, queries int, nmin int, method engine.Method, prune bool) {
+	b.Helper()
+	var qs = bench.MixedWorkload(queries, scaled(bench.DefaultWindow), scaled(bench.DefaultDuration), 1)
+	if nmin > 0 {
+		qs = bench.GEWorkload(queries, nmin, scaled(bench.DefaultWindow), scaled(bench.DefaultDuration), 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(qs, engine.Options{
+			Method:   method,
+			Prune:    prune,
+			Registry: vr.NewRegistry(ds.Reg.Names()...),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range ds.Trace.Frames() {
+			eng.ProcessFrame(f)
+		}
+	}
+}
+
+// BenchmarkFigure8 varies the number of queries (MCOS generation plus
+// query evaluation) on the paper's two panels, V1 and M2.
+func BenchmarkFigure8(b *testing.B) {
+	for _, name := range []string{"V1", "M2"} {
+		ds := loadBenchDataset(b, name)
+		for _, n := range []int{10, 30, 50} {
+			for _, m := range []engine.Method{engine.MethodNaive, engine.MethodMFS, engine.MethodSSG} {
+				b.Run(fmt.Sprintf("%s/q=%d/%s", name, n, m), func(b *testing.B) {
+					engineBench(b, ds, n, 0, m, false)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9 evaluates the §5.3 pruning strategy: ≥-only workloads
+// with varying n_min, with and without result-driven termination.
+func BenchmarkFigure9(b *testing.B) {
+	type variant struct {
+		label  string
+		method engine.Method
+		prune  bool
+	}
+	variants := []variant{
+		{"NAIVE_E", engine.MethodNaive, false},
+		{"MFS_E", engine.MethodMFS, false},
+		{"SSG_E", engine.MethodSSG, false},
+		{"MFS_O", engine.MethodMFS, true},
+		{"SSG_O", engine.MethodSSG, true},
+	}
+	for _, name := range []string{"D2", "M2"} {
+		ds := loadBenchDataset(b, name)
+		for _, nmin := range []int{1, 5, 9} {
+			for _, v := range variants {
+				b.Run(fmt.Sprintf("%s/nmin=%d/%s", name, nmin, v.label), func(b *testing.B) {
+					engineBench(b, ds, 100, nmin, v.method, v.prune)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10 measures the end-to-end pipeline — scene generation
+// through the simulated detector/tracker into query evaluation — per
+// dataset, 50 queries, SSG.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := benchConfig()
+	for _, name := range bench.DatasetNames() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ds, err := cfg.LoadDataset(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				qs := bench.MixedWorkload(50, scaled(bench.DefaultWindow), scaled(bench.DefaultDuration), 1)
+				eng, err := engine.New(qs, engine.Options{Registry: vr.NewRegistry(ds.Reg.Names()...)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, f := range ds.Trace.Frames() {
+					eng.ProcessFrame(f)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEmission isolates the emission-time maximality filter:
+// DESIGN.md calls it out as the exactness safety net; this measures what
+// it costs on top of raw state maintenance.
+func BenchmarkAblationEmission(b *testing.B) {
+	ds := loadBenchDataset(b, "M2")
+	cfg := core.Config{Window: scaled(bench.DefaultWindow), Duration: 1}
+	b.Run("d=1-emit-heavy", func(b *testing.B) {
+		mcosBench(b, "M2", "MFS", cfg, ds.Trace)
+	})
+	cfgTight := core.Config{Window: scaled(bench.DefaultWindow), Duration: scaled(bench.DefaultDuration)}
+	b.Run("d=default-emit-light", func(b *testing.B) {
+		mcosBench(b, "M2", "MFS", cfgTight, ds.Trace)
+	})
+}
+
+// BenchmarkAblationClassFilter measures the §3 class-filter push-down:
+// queries referencing one class on a four-class feed, with and without
+// dropping unrequested classes.
+func BenchmarkAblationClassFilter(b *testing.B) {
+	ds := loadBenchDataset(b, "M2")
+	qs := []string{"person >= 2"}
+	for _, keepAll := range []bool{false, true} {
+		label := "pushdown"
+		if keepAll {
+			label = "keep-all"
+		}
+		b.Run(label, func(b *testing.B) {
+			q, err := tvq.ParseQuery(1, qs[0], scaled(bench.DefaultWindow), scaled(bench.DefaultDuration))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New([]tvq.Query{q}, engine.Options{
+					KeepAllClasses: keepAll,
+					Registry:       vr.NewRegistry(ds.Reg.Names()...),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, f := range ds.Trace.Frames() {
+					eng.ProcessFrame(f)
+				}
+			}
+		})
+	}
+}

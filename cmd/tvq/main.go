@@ -1,0 +1,125 @@
+// Command tvq runs temporal co-occurrence queries over an object-stream
+// trace and prints every match.
+//
+// Usage:
+//
+//	tvq -q "car >= 1 AND person >= 2" -w 300 -d 240 trace.csv
+//	tvq -q "car >= 2" -q "bus >= 1" -w 150 -d 100 -method mfs trace.jsonl
+//	tvqgen -dataset M2 | tvq -q "person >= 3" -w 300 -d 240 -
+//
+// Each -q flag adds one query; all queries share the -w/-d parameters
+// (use the library directly for mixed windows). The trace format is
+// inferred from the file extension; stdin defaults to CSV unless
+// -format jsonl is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tvq"
+)
+
+type queryFlags []string
+
+func (q *queryFlags) String() string     { return strings.Join(*q, "; ") }
+func (q *queryFlags) Set(s string) error { *q = append(*q, s); return nil }
+
+func main() {
+	var (
+		queries  queryFlags
+		window   = flag.Int("w", 300, "window size in frames")
+		duration = flag.Int("d", 240, "duration threshold in frames")
+		method   = flag.String("method", "ssg", "state maintenance: naive, mfs or ssg")
+		prune    = flag.Bool("prune", false, "enable result-driven pruning (>=-only query sets)")
+		format   = flag.String("format", "", "trace format: csv or jsonl (default: from extension)")
+		quiet    = flag.Bool("quiet", false, "print only the match count")
+	)
+	flag.Var(&queries, "q", "query text (repeatable), e.g. \"car >= 1 AND person >= 2\"")
+	flag.Parse()
+
+	if err := run(queries, *window, *duration, *method, *prune, *format, *quiet, flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "tvq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(texts []string, window, duration int, method string, prune bool, format string, quiet bool, path string) error {
+	if len(texts) == 0 {
+		return fmt.Errorf("no queries; pass at least one -q")
+	}
+	if path == "" {
+		return fmt.Errorf("no trace path; pass a file or - for stdin")
+	}
+
+	var qs []tvq.Query
+	for i, text := range texts {
+		q, err := tvq.ParseQuery(i+1, text, window, duration)
+		if err != nil {
+			return err
+		}
+		qs = append(qs, q)
+	}
+
+	var in io.Reader
+	if path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		if format == "" {
+			if strings.HasSuffix(path, ".jsonl") {
+				format = "jsonl"
+			} else {
+				format = "csv"
+			}
+		}
+	}
+	if format == "" {
+		format = "csv"
+	}
+
+	reg := tvq.StandardRegistry()
+	var trace *tvq.Trace
+	var err error
+	switch format {
+	case "csv":
+		trace, err = tvq.ReadTraceCSV(in, reg)
+	case "jsonl":
+		trace, err = tvq.ReadTraceJSONL(in, reg)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+
+	eng, err := tvq.NewEngine(qs, tvq.Options{
+		Method:   tvq.Method(method),
+		Prune:    prune,
+		Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	total := 0
+	for _, f := range trace.Frames() {
+		for _, m := range eng.ProcessFrame(f) {
+			total++
+			if !quiet {
+				fmt.Printf("frame %d: %s\n", f.FID, tvq.FormatMatch(m))
+			}
+		}
+	}
+	fmt.Printf("%d matches over %d frames (%d queries, w=%d, d=%d, method=%s)\n",
+		total, trace.Len(), len(qs), window, duration, method)
+	return nil
+}

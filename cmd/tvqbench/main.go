@@ -1,0 +1,96 @@
+// Command tvqbench regenerates the tables and figures of the paper's
+// experimental evaluation (§6) on synthetic datasets matching Table 6.
+//
+// Usage:
+//
+//	tvqbench -exp table6
+//	tvqbench -exp fig4                 # all six datasets, full scale
+//	tvqbench -exp fig9 -datasets D1,M1 # subset of panels
+//	tvqbench -exp all -scale 4         # quick pass at quarter scale
+//
+// Experiments: table6, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all.
+// Output is aligned text: one table per subfigure, one row per x value,
+// one column per method, times in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tvq/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table6, fig4..fig10, or all")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the paper's choice per figure)")
+		seed     = flag.Int64("seed", 1, "dataset generation seed")
+		scale    = flag.Int("scale", 1, "divide frame counts, window and duration by this factor for quick runs")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Scale: *scale}
+	var subset []string
+	if *datasets != "" {
+		subset = strings.Split(*datasets, ",")
+	}
+	if err := run(cfg, *exp, subset); err != nil {
+		fmt.Fprintln(os.Stderr, "tvqbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg bench.Config, exp string, subset []string) error {
+	all := subset
+	if all == nil {
+		all = bench.DatasetNames()
+	}
+	figs := map[string]func() (bench.Figure, error){
+		"fig4":  func() (bench.Figure, error) { return cfg.Figure4(all) },
+		"fig5":  func() (bench.Figure, error) { return cfg.Figure5(all) },
+		"fig6":  func() (bench.Figure, error) { return cfg.Figure6(all) },
+		"fig7":  func() (bench.Figure, error) { return cfg.Figure7(all) },
+		"fig8":  func() (bench.Figure, error) { return cfg.Figure8(orDefault(subset, []string{"V1", "M2"})) },
+		"fig9":  func() (bench.Figure, error) { return cfg.Figure9(orDefault(subset, []string{"D1", "D2", "M1", "M2"})) },
+		"fig10": func() (bench.Figure, error) { return cfg.Figure10() },
+	}
+
+	order := []string{"table6", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	selected := []string{exp}
+	if exp == "all" {
+		selected = order
+	}
+
+	for _, name := range selected {
+		switch {
+		case name == "table6":
+			rows, err := cfg.Table6()
+			if err != nil {
+				return err
+			}
+			bench.RenderTable6(os.Stdout, rows)
+			fmt.Println()
+		case figs[name] != nil:
+			fig, err := figs[name]()
+			if err != nil {
+				return err
+			}
+			if err := fig.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+	return nil
+}
+
+func orDefault(subset, def []string) []string {
+	if subset != nil {
+		return subset
+	}
+	return def
+}

@@ -1,0 +1,103 @@
+// Command tvqgen generates synthetic object-stream traces with the
+// statistical shape of the paper's evaluation datasets and writes them as
+// CSV or JSON Lines.
+//
+// Usage:
+//
+//	tvqgen -dataset D2 -seed 7 -o d2.csv
+//	tvqgen -dataset M1 -po 2 -miss 0.05 -format jsonl -o m1.jsonl
+//	tvqgen -frames 2000 -objects 150 -fpo 60 -opo 4 -o custom.csv
+//	tvqgen -dataset V1 -stats            # print Table 6 statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tvq"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "", "standard dataset profile (V1, V2, D1, D2, M1, M2); empty = custom profile from -frames/-objects/-fpo/-opo")
+		frames  = flag.Int("frames", 1000, "custom profile: total frames")
+		objects = flag.Int("objects", 100, "custom profile: unique objects")
+		fpo     = flag.Float64("fpo", 50, "custom profile: mean frames per object")
+		opo     = flag.Float64("opo", 3, "custom profile: mean occlusions per object")
+		moving  = flag.Bool("moving", false, "custom profile: moving-camera arrival bursts")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		po      = flag.Int("po", 0, "occlusion parameter: reuse each object id up to po times")
+		miss    = flag.Float64("miss", 0, "tracker noise: per-object-frame detection miss probability")
+		swtch   = flag.Float64("switch", 0, "tracker noise: per-object-frame identity switch probability")
+		fp      = flag.Float64("fp", 0, "tracker noise: expected false positives per frame")
+		format  = flag.String("format", "csv", "output format: csv or jsonl")
+		out     = flag.String("o", "-", "output path; - for stdout")
+		stats   = flag.Bool("stats", false, "print dataset statistics instead of the trace")
+	)
+	flag.Parse()
+
+	if err := run(*dataset, *frames, *objects, *fpo, *opo, *moving, *seed, *po,
+		*miss, *swtch, *fp, *format, *out, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "tvqgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, frames, objects int, fpo, opo float64, moving bool,
+	seed int64, po int, miss, swtch, fp float64, format, out string, stats bool) error {
+
+	var profile tvq.Profile
+	if dataset != "" {
+		p, ok := tvq.DatasetByName(dataset)
+		if !ok {
+			return fmt.Errorf("unknown dataset %q (want V1, V2, D1, D2, M1 or M2)", dataset)
+		}
+		profile = p
+	} else {
+		profile = tvq.Profile{
+			Name: "custom", Frames: frames, Objects: objects,
+			FramesPerObj: fpo, OccPerObj: opo, MovingCamera: moving,
+			ClassMix: map[string]float64{"car": 0.5, "person": 0.3, "truck": 0.12, "bus": 0.08},
+		}
+	}
+
+	reg := tvq.StandardRegistry()
+	trace, err := tvq.GenerateDataset(profile, seed, tvq.Noise{
+		MissProb:          miss,
+		SwitchProb:        swtch,
+		FalsePositiveRate: fp,
+		Seed:              seed,
+	}, reg)
+	if err != nil {
+		return err
+	}
+	if po > 0 {
+		trace = tvq.InjectOcclusions(trace, po, seed)
+	}
+
+	if stats {
+		st := tvq.ComputeStats(trace)
+		fmt.Printf("dataset=%s frames=%d objects=%d obj/frame=%.2f occ/obj=%.2f frames/obj=%.2f\n",
+			profile.Name, st.Frames, st.Objects, st.ObjPerFrame, st.OccPerObj, st.FramesPerObj)
+		return nil
+	}
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "csv":
+		return tvq.WriteTraceCSV(w, trace, reg)
+	case "jsonl":
+		return tvq.WriteTraceJSONL(w, trace, reg)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+}

@@ -1,0 +1,65 @@
+// Traffic monitoring: run a panel of congestion and transit queries over
+// a highway camera feed (the Detrac D2 profile — a static camera over
+// dense traffic), comparing the three state-maintenance strategies on the
+// same workload.
+//
+//	go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tvq"
+)
+
+func main() {
+	reg := tvq.StandardRegistry()
+	profile, _ := tvq.DatasetByName("D2")
+	profile.Frames = 600
+	profile.Objects = 60
+	// Shift the class mix toward a mixed-use road so every panel query
+	// has traffic to observe (stock D2 is almost exclusively cars).
+	profile.ClassMix = map[string]float64{"car": 0.55, "truck": 0.2, "bus": 0.1, "person": 0.15}
+
+	trace, err := tvq.GenerateDataset(profile, 7, tvq.Noise{}, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := tvq.ComputeStats(trace)
+	fmt.Printf("feed: %d frames, %d vehicles/pedestrians, %.1f objects per frame\n\n",
+		st.Frames, st.Objects, st.ObjPerFrame)
+
+	// A small operations panel. All windows are 10 seconds (300 frames)
+	// with durations of 2-4 seconds of sustained joint presence.
+	queries := []tvq.Query{
+		// Congestion: two or more cars persistently in view together.
+		tvq.MustQuery(1, "car >= 2", 300, 90),
+		// Transit: a bus while the road is already busy.
+		tvq.MustQuery(2, "bus >= 1 AND car >= 1", 300, 30),
+		// Freight convoy: two trucks moving together.
+		tvq.MustQuery(3, "truck >= 2", 300, 90),
+		// Pedestrian near moving traffic — a safety alert.
+		tvq.MustQuery(4, "person >= 1 AND car >= 1", 300, 60),
+	}
+
+	for _, method := range []tvq.Method{tvq.MethodNaive, tvq.MethodMFS, tvq.MethodSSG} {
+		eng, err := tvq.NewEngine(queries, tvq.Options{Method: method, Registry: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perQuery := map[int]int{}
+		start := time.Now()
+		for _, frame := range trace.Frames() {
+			for _, m := range eng.ProcessFrame(frame) {
+				perQuery[m.QueryID]++
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-6s %8.1fms   congestion=%d busConflict=%d convoy=%d pedestrian=%d\n",
+			method, float64(elapsed.Microseconds())/1000,
+			perQuery[1], perQuery[2], perQuery[3], perQuery[4])
+	}
+	fmt.Println("\nall three strategies report identical matches; they differ only in cost.")
+}

@@ -1,0 +1,190 @@
+package cnf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements CNFEval, the Boolean-expression indexing algorithm
+// of Whang et al. [24] that the paper adopts for its query-evaluation
+// module (§5.1): CNF queries whose conditions are set-membership
+// predicates (∈, ∉) over name-value pairs, indexed by an inverted index
+// from (name, value) keys to posting lists of (qid, predicate, disjId)
+// triplets — the structure of the paper's Table 3.
+
+// SetCondition is one membership predicate: name ∈ Values, or
+// name ∉ Values when Negated is set.
+type SetCondition struct {
+	Name    string
+	Negated bool
+	Values  []string
+}
+
+// SetQuery is a CNF of membership predicates: the AND of its clauses,
+// each clause the OR of its conditions.
+type SetQuery struct {
+	ID      int
+	Clauses [][]SetCondition
+}
+
+// Posting is one triplet of a posting list, as in Table 3.
+type Posting struct {
+	QID    int
+	In     bool // predicate: true = ∈, false = ∉
+	DisjID int
+}
+
+// Eval is the CNFEval inverted index. Queries may be added and removed
+// dynamically. Eval is not safe for concurrent mutation.
+type Eval struct {
+	postings map[string][]Posting // key: name + "\x00" + value
+	queries  map[int]SetQuery
+	// negated[i] lists, per query, the (disjID, condition ordinal within
+	// the negated conditions of the query) of each ∉ condition; a ∉
+	// condition holds unless the input names one of its values.
+	negCount map[int]int // query id → number of ∉ conditions
+}
+
+// NewEval builds an index over the given queries. Duplicate query ids are
+// rejected.
+func NewEval(queries ...SetQuery) (*Eval, error) {
+	e := &Eval{
+		postings: make(map[string][]Posting),
+		queries:  make(map[int]SetQuery),
+		negCount: make(map[int]int),
+	}
+	for _, q := range queries {
+		if err := e.Add(q); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func pairKey(name, value string) string { return name + "\x00" + value }
+
+// Add inserts a query into the index.
+func (e *Eval) Add(q SetQuery) error {
+	if _, dup := e.queries[q.ID]; dup {
+		return fmt.Errorf("cnf: duplicate query id %d", q.ID)
+	}
+	if len(q.Clauses) > 64 {
+		return fmt.Errorf("cnf: query %d has %d clauses; at most 64 supported", q.ID, len(q.Clauses))
+	}
+	for disjID, clause := range q.Clauses {
+		if len(clause) == 0 {
+			return fmt.Errorf("cnf: query %d clause %d is empty", q.ID, disjID)
+		}
+		for _, c := range clause {
+			if len(c.Values) == 0 {
+				return fmt.Errorf("cnf: query %d clause %d: empty value set", q.ID, disjID)
+			}
+			for _, v := range c.Values {
+				k := pairKey(c.Name, v)
+				e.postings[k] = append(e.postings[k], Posting{QID: q.ID, In: !c.Negated, DisjID: disjID})
+			}
+			if c.Negated {
+				e.negCount[q.ID]++
+			}
+		}
+	}
+	e.queries[q.ID] = q
+	return nil
+}
+
+// Remove deletes a query from the index; it reports whether the query was
+// present.
+func (e *Eval) Remove(qid int) bool {
+	if _, ok := e.queries[qid]; !ok {
+		return false
+	}
+	delete(e.queries, qid)
+	delete(e.negCount, qid)
+	for k, list := range e.postings {
+		out := list[:0]
+		for _, p := range list {
+			if p.QID != qid {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			delete(e.postings, k)
+		} else {
+			e.postings[k] = out
+		}
+	}
+	return true
+}
+
+// Postings returns the posting list for a (name, value) key, for
+// introspection and tests (Table 3).
+func (e *Eval) Postings(name, value string) []Posting {
+	return e.postings[pairKey(name, value)]
+}
+
+// Len returns the number of indexed queries.
+func (e *Eval) Len() int { return len(e.queries) }
+
+// Matches evaluates every indexed query against an input assignment of
+// name-value pairs and returns the ids of satisfied queries in ascending
+// order. A ∈ condition holds iff the assignment contains one of its
+// values under its name; a ∉ condition holds iff it contains none.
+func (e *Eval) Matches(input map[string]string) []int {
+	// satisfied[qid] is a bitmask of disjunctions with a satisfied ∈
+	// condition. Queries containing ∉ conditions are routed to direct
+	// clause evaluation below: a clause may hold via an untouched ∉
+	// condition, so postings alone cannot decide them.
+	satisfied := make(map[int]uint64, len(e.queries))
+
+	for name, value := range input {
+		for _, p := range e.postings[pairKey(name, value)] {
+			if p.In {
+				satisfied[p.QID] |= 1 << uint(p.DisjID)
+			}
+		}
+	}
+	var out []int
+	for qid, q := range e.queries {
+		if e.negCount[qid] > 0 {
+			// Queries with ∉ conditions: evaluate those clauses directly
+			// (cheap: clause count is small, and ∉ is rare in this
+			// system's workloads).
+			if evalSetDirect(q, input) {
+				out = append(out, qid)
+			}
+			continue
+		}
+		mask := satisfied[qid]
+		if mask == (uint64(1)<<uint(len(q.Clauses)))-1 {
+			out = append(out, qid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func evalSetDirect(q SetQuery, input map[string]string) bool {
+	for _, clause := range q.Clauses {
+		ok := false
+		for _, c := range clause {
+			v, present := input[c.Name]
+			inSet := false
+			if present {
+				for _, cv := range c.Values {
+					if cv == v {
+						inSet = true
+						break
+					}
+				}
+			}
+			if inSet != c.Negated {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,344 @@
+package cnf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements CNFEvalE (§5.2): the paper's extension of CNFEval
+// to the inequality predicates its temporal queries use. Three inverted
+// indexes are built over the conditions `label θ n`, one per operator:
+// the ≥ index orders each label's entries by n ascending, the ≤ index
+// descending, and the = index is a point lookup — so for an input count v
+// only the qualifying prefix of each ordered list is scanned (Tables 4
+// and 5).
+
+// IndexEntry is one row of an ordered inequality index: the threshold
+// value and its posting (qid, disjId), as in Tables 4 and 5.
+type IndexEntry struct {
+	Value  int
+	QID    int
+	DisjID int
+}
+
+// EvalE is the CNFEvalE index over a set of count queries. It is not
+// safe for concurrent use: evaluation reuses internal scratch buffers.
+type EvalE struct {
+	ge  map[string][]IndexEntry // per label, ascending by Value
+	le  map[string][]IndexEntry // per label, descending by Value
+	eq  map[string]map[int][]IndexEntry
+	ids map[uint32][]IndexEntry // identity constraints: object id → postings
+
+	queries map[int]Query
+	masks   map[int]uint64 // qid → full mask (all clauses satisfied)
+	labels  []string       // all labels appearing in any index, sorted
+
+	// Dense evaluation scratch, rebuilt on Add/Remove and reused across
+	// Matches/AnySatisfied calls (epoch-stamped, so no per-call clearing).
+	// Reuse makes those methods unsafe for concurrent use.
+	denseID map[int]int // qid → dense index
+	qids    []int       // dense index → qid
+	scratch []uint64
+	stamp   []uint64
+	epoch   uint64
+}
+
+// NewEvalE builds the three indexes over the given queries (§5.2 step 1).
+// Queries must have distinct ids and at most 64 clauses.
+func NewEvalE(queries ...Query) (*EvalE, error) {
+	e := &EvalE{
+		ge:      make(map[string][]IndexEntry),
+		le:      make(map[string][]IndexEntry),
+		eq:      make(map[string]map[int][]IndexEntry),
+		ids:     make(map[uint32][]IndexEntry),
+		queries: make(map[int]Query),
+		masks:   make(map[int]uint64),
+	}
+	for _, q := range queries {
+		if err := e.Add(q); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Add inserts a query, maintaining the ordered index invariants.
+func (e *EvalE) Add(q Query) error {
+	if _, dup := e.queries[q.ID]; dup {
+		return fmt.Errorf("cnf: duplicate query id %d", q.ID)
+	}
+	if len(q.Clauses) == 0 {
+		return fmt.Errorf("cnf: query %d has no clauses", q.ID)
+	}
+	if len(q.Clauses) > 64 {
+		return fmt.Errorf("cnf: query %d has %d clauses; at most 64 supported", q.ID, len(q.Clauses))
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for disjID, clause := range q.Clauses {
+		for _, c := range clause {
+			entry := IndexEntry{Value: c.N, QID: q.ID, DisjID: disjID}
+			if c.Identity {
+				e.ids[uint32(c.N)] = append(e.ids[uint32(c.N)], entry)
+				continue
+			}
+			switch c.Op {
+			case GE:
+				e.ge[c.Label] = insertOrdered(e.ge[c.Label], entry, true)
+			case LE:
+				e.le[c.Label] = insertOrdered(e.le[c.Label], entry, false)
+			case EQ:
+				m := e.eq[c.Label]
+				if m == nil {
+					m = make(map[int][]IndexEntry)
+					e.eq[c.Label] = m
+				}
+				m[c.N] = append(m[c.N], entry)
+			}
+		}
+	}
+	e.queries[q.ID] = q
+	e.masks[q.ID] = (uint64(1) << uint(len(q.Clauses))) - 1
+	e.labels = nil // recomputed lazily
+	e.rebuildDense()
+	return nil
+}
+
+// rebuildDense refreshes the dense qid numbering used by the evaluation
+// scratch buffers.
+func (e *EvalE) rebuildDense() {
+	e.denseID = make(map[int]int, len(e.queries))
+	e.qids = e.qids[:0]
+	for qid := range e.queries {
+		e.denseID[qid] = len(e.qids)
+		e.qids = append(e.qids, qid)
+	}
+	e.scratch = make([]uint64, len(e.qids))
+	e.stamp = make([]uint64, len(e.qids))
+	e.epoch = 0
+}
+
+// Remove deletes a query from all indexes; it reports whether the query
+// was present.
+func (e *EvalE) Remove(qid int) bool {
+	if _, ok := e.queries[qid]; !ok {
+		return false
+	}
+	delete(e.queries, qid)
+	delete(e.masks, qid)
+	strip := func(m map[string][]IndexEntry) {
+		for label, list := range m {
+			out := list[:0]
+			for _, en := range list {
+				if en.QID != qid {
+					out = append(out, en)
+				}
+			}
+			if len(out) == 0 {
+				delete(m, label)
+			} else {
+				m[label] = out
+			}
+		}
+	}
+	strip(e.ge)
+	strip(e.le)
+	for id, list := range e.ids {
+		out := list[:0]
+		for _, en := range list {
+			if en.QID != qid {
+				out = append(out, en)
+			}
+		}
+		if len(out) == 0 {
+			delete(e.ids, id)
+		} else {
+			e.ids[id] = out
+		}
+	}
+	for label, byN := range e.eq {
+		for n, list := range byN {
+			out := list[:0]
+			for _, en := range list {
+				if en.QID != qid {
+					out = append(out, en)
+				}
+			}
+			if len(out) == 0 {
+				delete(byN, n)
+			} else {
+				byN[n] = out
+			}
+		}
+		if len(byN) == 0 {
+			delete(e.eq, label)
+		}
+	}
+	e.labels = nil
+	e.rebuildDense()
+	return true
+}
+
+// insertOrdered keeps ascending order when asc, else descending;
+// insertion keeps equal values adjacent in arrival order.
+func insertOrdered(list []IndexEntry, en IndexEntry, asc bool) []IndexEntry {
+	i := sort.Search(len(list), func(i int) bool {
+		if asc {
+			return list[i].Value > en.Value
+		}
+		return list[i].Value < en.Value
+	})
+	list = append(list, IndexEntry{})
+	copy(list[i+1:], list[i:])
+	list[i] = en
+	return list
+}
+
+// Len returns the number of indexed queries.
+func (e *EvalE) Len() int { return len(e.queries) }
+
+// GEIndex and LEIndex expose the ordered lists for a label, for
+// introspection and the Table 4/5 golden tests.
+func (e *EvalE) GEIndex(label string) []IndexEntry { return e.ge[label] }
+
+// LEIndex returns the descending ≤ index list for label.
+func (e *EvalE) LEIndex(label string) []IndexEntry { return e.le[label] }
+
+// EQIndex returns the = postings for (label, n).
+func (e *EvalE) EQIndex(label string, n int) []IndexEntry { return e.eq[label][n] }
+
+// Labels returns every label appearing in any index, sorted.
+func (e *EvalE) Labels() []string {
+	if e.labels == nil {
+		seen := map[string]bool{}
+		for l := range e.ge {
+			seen[l] = true
+		}
+		for l := range e.le {
+			seen[l] = true
+		}
+		for l := range e.eq {
+			seen[l] = true
+		}
+		e.labels = make([]string, 0, len(seen))
+		for l := range seen {
+			e.labels = append(e.labels, l)
+		}
+		sort.Strings(e.labels)
+	}
+	return e.labels
+}
+
+// Matches evaluates all indexed queries against per-class counts and
+// returns satisfied query ids in ascending order. counts maps class
+// labels to the number of objects of that class in the MCOS; labels
+// absent from the map count zero (§5.2 step 2: for each (k, v) pair the
+// ordered lists are scanned only while their threshold qualifies).
+func (e *EvalE) Matches(counts map[string]int) []int {
+	return e.MatchesSet(counts, nil)
+}
+
+// MatchesSet is Matches with an additional membership test for identity
+// constraints: each `#n` condition is satisfied when has(n) is true. A
+// nil has treats identity conditions as unsatisfied.
+func (e *EvalE) MatchesSet(counts map[string]int, has func(id uint32) bool) []int {
+	e.epoch++
+	e.scan(counts, e.hit)
+	e.scanIdentity(has, e.hit)
+	var out []int
+	for i, qid := range e.qids {
+		if e.stamp[i] == e.epoch && e.scratch[i] == e.masks[qid] {
+			out = append(out, qid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (e *EvalE) hit(qid, disjID int) {
+	i := e.denseID[qid]
+	if e.stamp[i] != e.epoch {
+		e.stamp[i] = e.epoch
+		e.scratch[i] = 0
+	}
+	e.scratch[i] |= 1 << uint(disjID)
+}
+
+// AnySatisfied reports whether at least one indexed query matches the
+// counts. It is the predicate behind the §5.3 termination strategy: for
+// ≥-only query sets, an object set on which every query fails can be
+// dropped together with all of its subsets.
+func (e *EvalE) AnySatisfied(counts map[string]int) bool {
+	return e.AnySatisfiedSet(counts, nil)
+}
+
+// AnySatisfiedSet is AnySatisfied with an identity membership test.
+func (e *EvalE) AnySatisfiedSet(counts map[string]int, has func(id uint32) bool) bool {
+	e.epoch++
+	e.scan(counts, e.hit)
+	e.scanIdentity(has, e.hit)
+	for i, qid := range e.qids {
+		if e.stamp[i] == e.epoch && e.scratch[i] == e.masks[qid] {
+			return true
+		}
+	}
+	return false
+}
+
+// GEOnly reports whether every indexed query uses only ≥ conditions.
+func (e *EvalE) GEOnly() bool {
+	for _, q := range e.queries {
+		if !q.GEOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+// scanIdentity hits the postings of every identity constraint whose
+// object id passes the membership test.
+func (e *EvalE) scanIdentity(has func(id uint32) bool, hit func(qid, disjID int)) {
+	if has == nil || len(e.ids) == 0 {
+		return
+	}
+	for id, list := range e.ids {
+		if !has(id) {
+			continue
+		}
+		for _, en := range list {
+			hit(en.QID, en.DisjID)
+		}
+	}
+}
+
+// scan walks the qualifying prefixes of each ordered index and the exact
+// = postings, invoking hit for every satisfied (qid, disjID) condition.
+// Labels not present in counts are scanned with count zero, since e.g.
+// `car <= 3` holds when no car is present.
+func (e *EvalE) scan(counts map[string]int, hit func(qid, disjID int)) {
+	for label, list := range e.ge {
+		v := counts[label]
+		for _, en := range list { // ascending: stop at first Value > v
+			if en.Value > v {
+				break
+			}
+			hit(en.QID, en.DisjID)
+		}
+	}
+	for label, list := range e.le {
+		v := counts[label]
+		for _, en := range list { // descending: stop at first Value < v
+			if en.Value < v {
+				break
+			}
+			hit(en.QID, en.DisjID)
+		}
+	}
+	for label, byN := range e.eq {
+		v := counts[label]
+		for _, en := range byN[v] {
+			hit(en.QID, en.DisjID)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package cnf
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIdentity(t *testing.T) {
+	q := MustParse("#17")
+	if len(q.Clauses) != 1 || len(q.Clauses[0]) != 1 {
+		t.Fatalf("clauses = %v", q.Clauses)
+	}
+	c := q.Clauses[0][0]
+	if !c.Identity || c.N != 17 {
+		t.Fatalf("cond = %+v", c)
+	}
+	if !q.HasIdentity() {
+		t.Error("HasIdentity = false")
+	}
+	if got := q.String(); got != "#17" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseIdentityInCNF(t *testing.T) {
+	q := MustParse("#17 AND car >= 2 AND (#23 OR person >= 1)")
+	if len(q.Clauses) != 3 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	// Round trip.
+	q2 := MustParse(q.String())
+	if q.String() != q2.String() {
+		t.Errorf("round trip: %q vs %q", q.String(), q2.String())
+	}
+	// Labels exclude identity conditions.
+	if got := q.Labels(); !reflect.DeepEqual(got, []string{"car", "person"}) {
+		t.Errorf("Labels = %v", got)
+	}
+}
+
+func TestParseIdentityErrors(t *testing.T) {
+	for _, in := range []string{"#", "#x", "# >= 2", "#17 >= 2 extra"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) accepted", in)
+		}
+	}
+}
+
+func TestIdentityGEOnly(t *testing.T) {
+	if !MustParse("#17 AND car >= 2").GEOnly() {
+		t.Error("identity + >= should be GEOnly (both subset-monotone)")
+	}
+	if MustParse("#17 AND car <= 2").GEOnly() {
+		t.Error("identity + <= should not be GEOnly")
+	}
+}
+
+func TestEvalSet(t *testing.T) {
+	q := MustParse("#17 AND car >= 1")
+	counts := map[string]int{"car": 2}
+	has := func(ids ...uint32) func(uint32) bool {
+		set := map[uint32]bool{}
+		for _, id := range ids {
+			set[id] = true
+		}
+		return func(id uint32) bool { return set[id] }
+	}
+	if !q.EvalSet(counts, has(17)) {
+		t.Error("EvalSet with member = false")
+	}
+	if q.EvalSet(counts, has(18)) {
+		t.Error("EvalSet without member = true")
+	}
+	if q.EvalSet(counts, nil) {
+		t.Error("EvalSet with nil membership = true")
+	}
+	// EvalDirect treats identity as false.
+	if q.EvalDirect(counts) {
+		t.Error("EvalDirect satisfied an identity condition")
+	}
+}
+
+func TestEvalEIdentityIndex(t *testing.T) {
+	qa := q(1, "#17 AND car >= 1", 10, 5)
+	qb := q(2, "(#17 OR #23)", 10, 5)
+	qc := q(3, "car >= 1", 10, 5)
+	e, err := NewEvalE(qa, qb, qc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{"car": 1}
+	has17 := func(id uint32) bool { return id == 17 }
+	has23 := func(id uint32) bool { return id == 23 }
+	none := func(uint32) bool { return false }
+
+	if got := e.MatchesSet(counts, has17); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("MatchesSet(17) = %v", got)
+	}
+	if got := e.MatchesSet(counts, has23); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("MatchesSet(23) = %v", got)
+	}
+	if got := e.MatchesSet(counts, none); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("MatchesSet(none) = %v", got)
+	}
+	// Plain Matches treats identity as unsatisfied.
+	if got := e.Matches(counts); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("Matches = %v", got)
+	}
+	if !e.AnySatisfiedSet(map[string]int{}, has23) {
+		t.Error("AnySatisfiedSet(23) = false; q2 should hold")
+	}
+	if e.AnySatisfiedSet(map[string]int{}, none) {
+		t.Error("AnySatisfiedSet(none) = true")
+	}
+}
+
+func TestEvalEIdentityRemove(t *testing.T) {
+	e, err := NewEvalE(q(1, "#17", 10, 5), q(2, "#17 AND car >= 1", 10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	has17 := func(id uint32) bool { return id == 17 }
+	if got := e.MatchesSet(map[string]int{"car": 1}, has17); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("MatchesSet = %v", got)
+	}
+	if !e.Remove(1) {
+		t.Fatal("Remove(1) failed")
+	}
+	if got := e.MatchesSet(map[string]int{"car": 1}, has17); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("after remove MatchesSet = %v", got)
+	}
+	if !e.Remove(2) {
+		t.Fatal("Remove(2) failed")
+	}
+	if got := e.MatchesSet(map[string]int{"car": 1}, has17); len(got) != 0 {
+		t.Fatalf("after removing all: %v", got)
+	}
+}
+
+func TestIdentityValidate(t *testing.T) {
+	q := Query{ID: 1, Window: 10, Duration: 5, Clauses: []Disjunction{
+		{{Identity: true, N: 5}},
+	}}
+	if err := q.Validate(); err != nil {
+		t.Errorf("identity query rejected: %v", err)
+	}
+	bad := Query{ID: 1, Window: 10, Duration: 5, Clauses: []Disjunction{
+		{{Identity: true, N: -1}},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative identity accepted")
+	}
+}

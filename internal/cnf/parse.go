@@ -1,0 +1,248 @@
+package cnf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a Query from text such as
+//
+//	car >= 2 AND (person <= 3 OR bus = 1)
+//
+// Grammar:
+//
+//	query  := clause { "AND" clause }
+//	clause := cond | "(" cond { "OR" cond } ")"
+//	cond   := label (">=" | "<=" | "=") number | "#" number
+//
+// The `#n` form is an external-identity constraint: the tracked object
+// with identifier n must itself be part of the matching object set.
+//
+// "AND"/"OR" are case-insensitive; "&&" and "||" are accepted as synonyms.
+// Window and duration are not part of the expression syntax; set them on
+// the returned Query.
+func Parse(text string) (Query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return Query{}, fmt.Errorf("cnf: parse %q: %w", text, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed literals.
+func MustParse(text string) Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokOp   // >= <= =
+	tokHash // identity marker '#'
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(text) {
+		c := text[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			toks = append(toks, token{tokHash, "#", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '>' || c == '<':
+			if i+1 >= len(text) || text[i+1] != '=' {
+				return nil, fmt.Errorf("cnf: strict inequality at offset %d; use >= or <=", i)
+			}
+			toks = append(toks, token{tokOp, text[i : i+2], i})
+			i += 2
+		case c == '=':
+			n := 1
+			if i+1 < len(text) && text[i+1] == '=' {
+				n = 2
+			}
+			toks = append(toks, token{tokOp, "=", i})
+			i += n
+		case c == '&':
+			if i+1 >= len(text) || text[i+1] != '&' {
+				return nil, fmt.Errorf("cnf: lone '&' at offset %d", i)
+			}
+			toks = append(toks, token{tokAnd, "&&", i})
+			i += 2
+		case c == '|':
+			if i+1 >= len(text) || text[i+1] != '|' {
+				return nil, fmt.Errorf("cnf: lone '|' at offset %d", i)
+			}
+			toks = append(toks, token{tokOr, "||", i})
+			i += 2
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(text) && text[j] >= '0' && text[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, text[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(text) && isIdentPart(rune(text[j])) {
+				j++
+			}
+			word := text[i:j]
+			switch strings.ToUpper(word) {
+			case "AND":
+				toks = append(toks, token{tokAnd, word, i})
+			case "OR":
+				toks = append(toks, token{tokOr, word, i})
+			default:
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("cnf: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(text)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) parseQuery() (Query, error) {
+	var q Query
+	for {
+		d, err := p.parseClause()
+		if err != nil {
+			return Query{}, err
+		}
+		q.Clauses = append(q.Clauses, d)
+		switch p.peek().kind {
+		case tokAnd:
+			p.next()
+		case tokEOF:
+			return q, nil
+		default:
+			t := p.peek()
+			return Query{}, fmt.Errorf("expected AND or end of input at offset %d, got %q", t.pos, t.text)
+		}
+	}
+}
+
+func (p *parser) parseClause() (Disjunction, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		var d Disjunction
+		for {
+			c, err := p.parseCond()
+			if err != nil {
+				return nil, err
+			}
+			d = append(d, c)
+			switch t := p.next(); t.kind {
+			case tokOr:
+				continue
+			case tokRParen:
+				return d, nil
+			default:
+				return nil, fmt.Errorf("expected OR or ) at offset %d, got %q", t.pos, t.text)
+			}
+		}
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	return Disjunction{c}, nil
+}
+
+func (p *parser) parseCond() (Condition, error) {
+	id := p.next()
+	if id.kind == tokHash {
+		num := p.next()
+		if num.kind != tokNumber {
+			return Condition{}, fmt.Errorf("expected object id after # at offset %d, got %q", num.pos, num.text)
+		}
+		n, err := strconv.Atoi(num.text)
+		if err != nil {
+			return Condition{}, fmt.Errorf("bad object id %q at offset %d: %w", num.text, num.pos, err)
+		}
+		return Condition{Identity: true, N: n}, nil
+	}
+	if id.kind != tokIdent {
+		return Condition{}, fmt.Errorf("expected class label at offset %d, got %q", id.pos, id.text)
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return Condition{}, fmt.Errorf("expected comparison after %q at offset %d, got %q", id.text, op.pos, op.text)
+	}
+	num := p.next()
+	if num.kind != tokNumber {
+		return Condition{}, fmt.Errorf("expected number after %q at offset %d, got %q", op.text, num.pos, num.text)
+	}
+	n, err := strconv.Atoi(num.text)
+	if err != nil {
+		return Condition{}, fmt.Errorf("bad number %q at offset %d: %w", num.text, num.pos, err)
+	}
+	c := Condition{Label: id.text, N: n}
+	switch op.text {
+	case "<=":
+		c.Op = LE
+	case ">=":
+		c.Op = GE
+	case "=":
+		c.Op = EQ
+	}
+	return c, nil
+}

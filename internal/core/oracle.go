@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Oracle is a brute-force reference generator used as ground truth in
+// tests: for every frame it recomputes, from scratch, the closure system
+// of the window's object sets (all distinct intersections of frame object
+// sets), derives each closure's exact frame set, and emits the satisfied
+// MCOSs. It maintains no incremental state, so its correctness follows
+// directly from the definitions in §2 — at the cost of per-frame work that
+// makes it unusable beyond small inputs.
+type Oracle struct {
+	cfg    Config
+	window []vr.Frame
+	next   vr.FrameID
+}
+
+// NewOracle returns a brute-force reference generator.
+// It panics if cfg is invalid.
+func NewOracle(cfg Config) *Oracle {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Oracle{cfg: cfg}
+}
+
+// Name implements Generator.
+func (*Oracle) Name() string { return "ORACLE" }
+
+// StateCount implements Generator; the oracle holds no states between
+// frames, so it reports the window length instead.
+func (o *Oracle) StateCount() int { return len(o.window) }
+
+// Process implements Generator.
+func (o *Oracle) Process(f vr.Frame) []*State {
+	if f.FID != o.next {
+		panic("core: frames must be processed in order starting at 0")
+	}
+	o.next++
+	o.window = append(o.window, f)
+	if len(o.window) > o.cfg.Window {
+		o.window = o.window[1:]
+	}
+
+	// Closure system: every distinct intersection of one or more window
+	// frame object sets. Iterate to fixpoint: seed with the frames' own
+	// sets, then intersect every known closure with every frame set.
+	closures := make(map[string]objset.Set)
+	var queue []objset.Set
+	add := func(s objset.Set) {
+		if s.IsEmpty() {
+			return
+		}
+		k := s.Key()
+		if _, ok := closures[k]; !ok {
+			closures[k] = s
+			queue = append(queue, s)
+		}
+	}
+	for _, fr := range o.window {
+		add(fr.Objects)
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, fr := range o.window {
+			add(s.Intersect(fr.Objects))
+		}
+	}
+
+	// For each closure X, its frame set is exactly the window frames
+	// whose object set contains X; by construction X is the maximum
+	// co-occurrence object set of that frame set.
+	var out []*State
+	for _, x := range closures {
+		var frames []vr.FrameID
+		for _, fr := range o.window {
+			if x.SubsetOf(fr.Objects) {
+				frames = append(frames, fr.FID)
+			}
+		}
+		if len(frames) < o.cfg.Duration || len(frames) == 0 {
+			continue
+		}
+		if o.cfg.Terminate != nil && o.cfg.Terminate(x) {
+			continue
+		}
+		s := &State{Objects: x}
+		for _, fid := range frames {
+			s.frames.insert(fid, true)
+		}
+		out = append(out, s)
+	}
+
+	// Distinct closures can still share a frame set only if one is not
+	// maximal — impossible here because the closure of that frame set is
+	// itself in the system and strictly larger; drop the smaller ones.
+	out = emit(out, o.cfg.Duration, true)
+	sort.Slice(out, func(i, j int) bool { return out[i].Objects.Key() < out[j].Objects.Key() })
+	return out
+}

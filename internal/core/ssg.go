@@ -1,0 +1,511 @@
+package core
+
+import (
+	"sort"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// SSG is the Strict State Graph generator of §4.3. States are nodes of a
+// directed graph whose edges point from a state to states generated from
+// it, so an edge (s, s') implies IDs' ⊂ IDs (Property 1) and no two
+// children of a node contain one another (Property 2). The State
+// Traversal (ST) algorithm walks the graph from its roots for every
+// arriving frame: when the intersection between a node's object set and
+// the arriving object set is empty, the entire subtree is skipped —
+// subsets of a disjoint set are disjoint too — which is the pruning power
+// the paper attributes to the graph. CNPS (Connecting the New Principal
+// State, §4.3.5) then links the frame's own state to the top-level
+// intersection states without violating Property 2.
+type SSG struct {
+	cfg   Config
+	nodes map[string]*ssgNode
+
+	// rootOrder lists traversal entry points (parentless nodes) in the
+	// order they became roots; dead or re-parented entries are skipped
+	// and compacted lazily. The paper visits principal states in arrival
+	// order; parentless nodes are their generalization once principal
+	// states expire but their subtrees remain live.
+	rootOrder []*ssgNode
+
+	// principals lists nodes that are principal states (some window frame
+	// has exactly their object set), in arrival order; used by the State
+	// Marking Procedure rule 4.
+	principals []*ssgNode
+
+	prevResults map[*ssgNode]bool
+	next        vr.FrameID
+	metrics     Metrics
+
+	// window buffers the object set of each live frame for the marking
+	// rule (State.fold) when parents' frames merge into new states.
+	window map[vr.FrameID]objset.Set
+
+	// scratch, reused across frames
+	touched []*ssgNode
+	stack   []*ssgNode // child snapshots for the recursive traversal
+}
+
+type ssgNode struct {
+	state    *State
+	children []*ssgNode
+	parents  []*ssgNode
+
+	// visited holds the id of the last frame whose traversal visited
+	// this node (Algorithm 1 lines 1-2).
+	visited vr.FrameID
+
+	// createdAt is the frame whose traversal created this node; a node
+	// still being assembled in the current frame absorbs the frames of
+	// every parent that generates it, while older nodes are already
+	// exact and skip that merge.
+	createdAt vr.FrameID
+
+	// createdBy holds the window frames whose object set equals this
+	// node's object set: while non-empty the node is a principal state
+	// (Definition 5). Sorted ascending.
+	createdBy []vr.FrameID
+
+	onRootList bool
+	dead       bool
+}
+
+// NewSSG returns a Strict State Graph generator for the given window
+// parameters. It panics if cfg is invalid.
+func NewSSG(cfg Config) *SSG {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &SSG{
+		cfg:         cfg,
+		nodes:       make(map[string]*ssgNode),
+		prevResults: make(map[*ssgNode]bool),
+		window:      make(map[vr.FrameID]objset.Set),
+	}
+}
+
+// Name implements Generator.
+func (g *SSG) Name() string { return "SSG" }
+
+// StateCount implements Generator.
+func (g *SSG) StateCount() int { return len(g.nodes) }
+
+// Metrics returns work counters accumulated so far.
+func (g *SSG) Metrics() Metrics { return g.metrics }
+
+// Process implements Generator: one round of the ST algorithm followed by
+// CNPS and result-set maintenance (§4.3.7).
+func (g *SSG) Process(f vr.Frame) []*State {
+	if f.FID != g.next {
+		panic("core: frames must be processed in order starting at 0")
+	}
+	g.next++
+	g.metrics.FramesProcessed++
+	minFID := f.FID - vr.FrameID(g.cfg.Window) + 1
+	g.touched = g.touched[:0]
+	for fid := range g.window {
+		if fid < minFID {
+			delete(g.window, fid)
+		}
+	}
+	g.window[f.FID] = f.Objects
+
+	// Periodic full sweep: traversal expires nodes lazily, so nodes in
+	// subtrees that no recent frame intersected can hold expired frames.
+	// They are never emitted (result maintenance re-checks), but sweeping
+	// once per window keeps memory proportional to live states.
+	if g.cfg.Window > 0 && f.FID > 0 && f.FID%vr.FrameID(g.cfg.Window) == 0 {
+		g.sweep(minFID)
+	}
+
+	if !f.Objects.IsEmpty() {
+		g.traverse(f, minFID)
+	}
+
+	return g.collectResults(f, minFID)
+}
+
+// traverse runs ST from every root, then creates/updates the frame's own
+// principal state and connects it via CNPS.
+func (g *SSG) traverse(f vr.Frame, minFID vr.FrameID) {
+	// Candidates for CNPS: the state generated at the top level of each
+	// root's subtree (Theorem 2: only states IDroot ∩ IDns can be
+	// adjacent to the new principal state).
+	var candidates []*ssgNode
+
+	roots := g.liveRoots()
+	for _, r := range roots {
+		if r.dead || len(r.parents) > 0 {
+			continue // re-parented or removed during this very traversal
+		}
+		if c := g.visit(r, f, minFID); c != nil {
+			candidates = append(candidates, c)
+		}
+	}
+
+	ns := g.ensurePrincipal(f, minFID)
+	g.connectPrincipal(ns, candidates)
+	g.refreshPrincipals(f, minFID)
+}
+
+// visit implements one step of the ST algorithm on node n; it returns the
+// node holding IDn ∩ IDns when n is a traversal root (the CNPS candidate
+// from this subtree), or nil when the intersection is empty.
+func (g *SSG) visit(n *ssgNode, f vr.Frame, minFID vr.FrameID) *ssgNode {
+	if n.dead {
+		return nil
+	}
+	if n.visited == f.FID {
+		// Already handled via another path this frame; the candidate for
+		// CNPS is still the intersection state, which must exist by now.
+		inter := n.state.Objects.Intersect(f.Objects)
+		if inter.IsEmpty() {
+			return nil
+		}
+		return g.nodes[inter.Key()]
+	}
+	n.visited = f.FID
+	g.metrics.StatesVisited++
+	g.touched = append(g.touched, n)
+
+	// Snapshot the children onto the shared scratch stack: visits of the
+	// subtree may re-home or remove entries of n.children, but the
+	// snapshot keeps this node's iteration stable without allocating.
+	base := len(g.stack)
+	g.stack = append(g.stack, n.children...)
+	count := len(g.stack) - base
+	defer func() { g.stack = g.stack[:base] }()
+
+	// pruneState (Algorithm 1 line 3): expire frames; an invalid node
+	// (no marked frames) or empty node leaves the graph immediately. Its
+	// former children may still intersect the arriving frame, so they
+	// are visited from here even though the node itself is gone.
+	if g.pruneNode(n, minFID) {
+		for i := 0; i < count; i++ {
+			g.visit(g.stack[base+i], f, minFID)
+		}
+		return nil
+	}
+
+	g.metrics.Intersections++
+	inter := n.state.Objects.Intersect(f.Objects)
+	if inter.IsEmpty() {
+		// Every descendant has an object set ⊂ IDn, so every descendant
+		// intersection is empty too: skip the whole subtree. This is the
+		// SSG pruning step.
+		return nil
+	}
+
+	target := g.applyIntersection(n, inter, f)
+
+	// Recurse into children (visitNext) via the snapshot. A target just
+	// attached under n needs no visit of its own (its bookkeeping
+	// happened at creation); any children it acquired were re-homed
+	// siblings already present in the snapshot.
+	for i := 0; i < count; i++ {
+		g.visit(g.stack[base+i], f, minFID)
+	}
+	return target
+}
+
+// applyIntersection materializes the state for inter = IDn ∩ IDns and
+// performs frame bookkeeping (Graph Maintenance Procedure steps 3-4);
+// key-frame marks are decided by the rest-closure rule in State.fold.
+func (g *SSG) applyIntersection(n *ssgNode, inter objset.Set, f vr.Frame) *ssgNode {
+	if inter.Equal(n.state.Objects) {
+		// Step 3: the node itself co-occurs in the arriving frame.
+		n.state.fold(f.FID, f.Objects)
+		return n
+	}
+
+	key := inter.Key()
+	target, ok := g.nodes[key]
+	if !ok {
+		if g.cfg.Terminate != nil && g.cfg.Terminate(inter) {
+			g.metrics.StatesTerminated++
+			return nil
+		}
+		target = &ssgNode{state: &State{Objects: inter}, createdAt: f.FID}
+		g.nodes[key] = target
+		g.metrics.StatesCreated++
+		g.touched = append(g.touched, target)
+		g.foldMissing(target, n)
+		target.state.fold(f.FID, f.Objects)
+		g.attachChild(n, target)
+	} else {
+		// Step 4.a: the state exists. A target created earlier in this
+		// same traversal has only seen its first parent, so it absorbs
+		// this parent's frames too; an older target is already exact
+		// (every frame containing it was appended when it arrived).
+		if target.createdAt == f.FID {
+			g.foldMissing(target, n)
+		}
+		target.state.fold(f.FID, f.Objects)
+		g.touched = append(g.touched, target)
+	}
+	return target
+}
+
+// foldMissing folds every frame of parent that target lacks. A frame
+// containing the parent's objects contains the target's (a subset), so
+// the target's frame set stays exact (= all window frames containing it).
+func (g *SSG) foldMissing(target, parent *ssgNode) {
+	te := target.state.frames.entries
+	i := 0
+	for _, e := range parent.state.frames.entries {
+		for i < len(te) && te[i].fid < e.fid {
+			i++
+		}
+		if i < len(te) && te[i].fid == e.fid {
+			continue
+		}
+		if of, ok := g.window[e.fid]; ok {
+			target.state.fold(e.fid, of)
+			te = target.state.frames.entries // insertion may reallocate
+		}
+	}
+}
+
+// attachChild adds edge (parent, child) and restores Property 2 one level
+// deep (§4.3.4): an existing child contained in the new one is re-homed
+// under it; if the new child is contained in an existing one it belongs
+// under that child instead (that child's own visit generates it there).
+func (g *SSG) attachChild(parent, child *ssgNode) {
+	for i := 0; i < len(parent.children); i++ {
+		sib := parent.children[i]
+		if sib == child {
+			return
+		}
+		if sib.state.Objects.ProperSubsetOf(child.state.Objects) {
+			// Move sib under child: (parent, sib) → (child, sib). The
+			// recursive attach keeps Property 2 among child's children.
+			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+			i--
+			detachParent(sib, parent)
+			g.attachChild(child, sib)
+		} else if child.state.Objects.ProperSubsetOf(sib.state.Objects) {
+			g.attachChild(sib, child)
+			return
+		}
+	}
+	addEdge(parent, child)
+}
+
+func addEdge(parent, child *ssgNode) {
+	for _, c := range parent.children {
+		if c == child {
+			return
+		}
+	}
+	parent.children = append(parent.children, child)
+	child.parents = append(child.parents, parent)
+}
+
+func detachParent(child, parent *ssgNode) {
+	for i, p := range child.parents {
+		if p == parent {
+			child.parents = append(child.parents[:i], child.parents[i+1:]...)
+			return
+		}
+	}
+}
+
+// ensurePrincipal creates or refreshes the node for the arriving frame's
+// own object set: the new principal state (Definition 5).
+func (g *SSG) ensurePrincipal(f vr.Frame, minFID vr.FrameID) *ssgNode {
+	key := f.Objects.Key()
+	ns, ok := g.nodes[key]
+	if !ok {
+		if g.cfg.Terminate != nil && g.cfg.Terminate(f.Objects) {
+			g.metrics.StatesTerminated++
+			return nil
+		}
+		ns = &ssgNode{state: &State{Objects: f.Objects}}
+		g.nodes[key] = ns
+		g.metrics.StatesCreated++
+		g.touched = append(g.touched, ns)
+	}
+	// The creating frame is always a key frame of its principal state:
+	// its object set equals the state's, so fold marks it.
+	ns.state.fold(f.FID, f.Objects)
+	ns.createdBy = append(ns.createdBy, f.FID)
+	if wasPrincipal := len(ns.createdBy) > 1; !wasPrincipal {
+		g.principals = append(g.principals, ns)
+	}
+	g.ensureRoot(ns)
+	return ns
+}
+
+// connectPrincipal implements CNPS (Algorithm 2): sort candidates by
+// object-set size descending and connect ns to each candidate not already
+// reachable from a previously selected one.
+func (g *SSG) connectPrincipal(ns *ssgNode, candidates []*ssgNode) {
+	if ns == nil || len(candidates) == 0 {
+		return
+	}
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return candidates[i].state.Objects.Len() > candidates[j].state.Objects.Len()
+	})
+	var selected []*ssgNode
+	for _, c := range candidates {
+		if c == nil || c.dead || c == ns {
+			continue
+		}
+		if !c.state.Objects.ProperSubsetOf(ns.state.Objects) {
+			continue // candidate not strictly below ns (e.g. equals it)
+		}
+		// Property 2 for ns's children: skip a candidate contained in an
+		// already selected one (reachability via edges implies subset, so
+		// this over-approximates the paper's reachable-set test safely:
+		// every skipped candidate keeps its generating root as a parent
+		// and stays reachable for traversal).
+		redundant := false
+		for _, s := range selected {
+			if c == s || c.state.Objects.ProperSubsetOf(s.state.Objects) {
+				redundant = true
+				break
+			}
+		}
+		if redundant {
+			continue
+		}
+		// attachChild (not addEdge): a re-created principal state may
+		// already carry children, and Property 2 must hold against them
+		// too.
+		g.attachChild(ns, c)
+		selected = append(selected, c)
+	}
+}
+
+// pruneNode expires old frames on n and removes it from the graph when it
+// became empty or invalid; it reports whether the node was removed.
+func (g *SSG) pruneNode(n *ssgNode, minFID vr.FrameID) bool {
+	n.state.frames.expireBefore(minFID)
+	for len(n.createdBy) > 0 && n.createdBy[0] < minFID {
+		n.createdBy = n.createdBy[1:]
+	}
+	if n.state.frames.len() == 0 || !n.state.frames.hasMarks() {
+		g.removeNode(n)
+		return true
+	}
+	return false
+}
+
+// removeNode detaches n from the graph. Children that lose their last
+// parent are promoted to traversal roots so their subtrees stay
+// reachable.
+func (g *SSG) removeNode(n *ssgNode) {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	g.metrics.StatesPruned++
+	delete(g.nodes, n.state.Objects.Key())
+	delete(g.prevResults, n)
+	for _, p := range n.parents {
+		for i, c := range p.children {
+			if c == n {
+				p.children = append(p.children[:i], p.children[i+1:]...)
+				break
+			}
+		}
+	}
+	n.parents = nil
+	children := n.children
+	n.children = nil
+	for _, c := range children {
+		detachParent(c, n)
+		if len(c.parents) == 0 && !c.dead {
+			g.ensureRoot(c)
+		}
+	}
+}
+
+func (g *SSG) ensureRoot(n *ssgNode) {
+	if n.onRootList || n.dead || len(n.parents) > 0 {
+		return
+	}
+	n.onRootList = true
+	g.rootOrder = append(g.rootOrder, n)
+}
+
+// liveRoots compacts rootOrder, dropping dead or re-parented entries, and
+// returns the remaining traversal entry points in order.
+func (g *SSG) liveRoots() []*ssgNode {
+	out := g.rootOrder[:0]
+	for _, n := range g.rootOrder {
+		if n.dead || len(n.parents) > 0 {
+			n.onRootList = false
+			continue
+		}
+		out = append(out, n)
+	}
+	g.rootOrder = out
+	// Return a copy: traversal may promote orphans onto rootOrder
+	// mid-iteration, and those were either already visited (as children)
+	// or will be covered next frame.
+	roots := make([]*ssgNode, len(out))
+	copy(roots, out)
+	return roots
+}
+
+func (g *SSG) refreshPrincipals(f vr.Frame, minFID vr.FrameID) {
+	out := g.principals[:0]
+	for _, n := range g.principals {
+		for len(n.createdBy) > 0 && n.createdBy[0] < minFID {
+			n.createdBy = n.createdBy[1:]
+		}
+		if !n.dead && len(n.createdBy) > 0 {
+			out = append(out, n)
+		}
+	}
+	g.principals = out
+}
+
+// collectResults implements the result-set maintenance of §4.3.7:
+// SR_{i'} = SR'_i ∪ SR_{G'} — the still-satisfied previous results plus
+// the satisfied states touched by this frame's traversal.
+func (g *SSG) collectResults(f vr.Frame, minFID vr.FrameID) []*State {
+	next := make(map[*ssgNode]bool, len(g.prevResults))
+	consider := func(n *ssgNode) {
+		if n == nil || n.dead {
+			return
+		}
+		n.state.frames.expireBefore(minFID)
+		if n.state.frames.len() == 0 || !n.state.frames.hasMarks() {
+			g.removeNode(n)
+			return
+		}
+		if n.state.frames.len() >= g.cfg.Duration {
+			next[n] = true
+		}
+	}
+	for n := range g.prevResults {
+		consider(n)
+	}
+	for _, n := range g.touched {
+		consider(n)
+	}
+	g.prevResults = next
+
+	states := make([]*State, 0, len(next))
+	for n := range next {
+		states = append(states, n.state)
+	}
+	return emit(states, g.cfg.Duration, true)
+}
+
+// sweep removes dead weight graph-wide; see Process.
+func (g *SSG) sweep(minFID vr.FrameID) {
+	all := make([]*ssgNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	for _, n := range all {
+		if n.dead {
+			continue
+		}
+		g.pruneNode(n, minFID)
+	}
+}

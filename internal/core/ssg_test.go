@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// checkGraphInvariants walks the whole graph and asserts the structural
+// properties the SSG is defined by.
+func checkGraphInvariants(t *testing.T, g *SSG) {
+	t.Helper()
+	for key, n := range g.nodes {
+		if n.dead {
+			t.Fatalf("dead node %v still in node table", n.state.Objects)
+		}
+		if n.state.Objects.Key() != key {
+			t.Fatalf("node keyed %q holds objects %v", key, n.state.Objects)
+		}
+		// Property 1: every edge goes to a strict subset.
+		for _, c := range n.children {
+			if !c.state.Objects.ProperSubsetOf(n.state.Objects) {
+				t.Fatalf("edge %v → %v violates Property 1", n.state.Objects, c.state.Objects)
+			}
+			// Parent back-references are consistent.
+			found := false
+			for _, p := range c.parents {
+				if p == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("child %v missing parent back-reference to %v",
+					c.state.Objects, n.state.Objects)
+			}
+		}
+		// Property 2: children of one node do not contain one another.
+		for i := 0; i < len(n.children); i++ {
+			for j := i + 1; j < len(n.children); j++ {
+				a, b := n.children[i].state.Objects, n.children[j].state.Objects
+				if a.ProperSubsetOf(b) || b.ProperSubsetOf(a) {
+					t.Fatalf("children %v and %v of %v violate Property 2", a, b, n.state.Objects)
+				}
+			}
+		}
+	}
+
+	// Reachability: every live node must be reachable from a parentless
+	// node via parent chains (the traversal entry points).
+	for _, n := range g.nodes {
+		cur := n
+		for steps := 0; len(cur.parents) > 0; steps++ {
+			if steps > len(g.nodes) {
+				t.Fatalf("parent chain from %v does not terminate", n.state.Objects)
+			}
+			cur = cur.parents[0]
+		}
+		if !cur.onRootList {
+			t.Fatalf("node %v reaches parentless %v which is not on the root list",
+				n.state.Objects, cur.state.Objects)
+		}
+	}
+}
+
+func TestSSGGraphInvariantsOnPaperExample(t *testing.T) {
+	g := NewSSG(Config{Window: 4, Duration: 3})
+	for _, f := range paperFeed() {
+		g.Process(f)
+		checkGraphInvariants(t, g)
+	}
+}
+
+func TestSSGGraphInvariantsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		w := 3 + r.Intn(6)
+		g := NewSSG(Config{Window: w, Duration: 1})
+		for _, f := range randomFeed(r, 40, 5+r.Intn(4), 5) {
+			g.Process(f)
+			checkGraphInvariants(t, g)
+		}
+	}
+}
+
+// TestSSGFigure3Scenario reproduces the running example of §4.3: two
+// principal states {ABD} and {ABCF} with shared child {AB}; a new frame
+// {ABDF} must yield the edge structure of Figure 3d — {ABF} and {ABD}
+// become the parents of {AB}, and the new principal state connects to
+// both without a redundant direct edge to {AB}.
+func TestSSGFigure3Scenario(t *testing.T) {
+	// A=1 B=2 C=3 D=4 F=5. Build principal states via frames.
+	g := NewSSG(Config{Window: 10, Duration: 1})
+	frames := []objset.Set{
+		objset.New(1, 2, 3, 5), // {ABCF}
+		objset.New(1, 2, 4),    // {ABD} → generates {AB}
+		objset.New(1, 2, 4, 5), // {ABDF} → generates {ABF}, re-wires {AB}
+	}
+	for i, s := range frames {
+		g.Process(vr.Frame{FID: vr.FrameID(i), Objects: s})
+	}
+	checkGraphInvariants(t, g)
+
+	ab := g.nodes[objset.New(1, 2).Key()]
+	if ab == nil {
+		t.Fatal("{AB} not materialized")
+	}
+	abf := g.nodes[objset.New(1, 2, 5).Key()]
+	if abf == nil {
+		t.Fatal("{ABF} not materialized")
+	}
+	// Figure 3d: {AB}'s parents are {ABF} and {ABD} — not {ABCF}.
+	abcf := g.nodes[objset.New(1, 2, 3, 5).Key()]
+	for _, p := range ab.parents {
+		if p == abcf {
+			t.Errorf("{AB} still a direct child of {ABCF}; edge should have moved to {ABF}")
+		}
+	}
+	wantParents := map[string]bool{
+		objset.New(1, 2, 5).Key(): false, // {ABF}
+		objset.New(1, 2, 4).Key(): false, // {ABD}
+	}
+	for _, p := range ab.parents {
+		k := p.state.Objects.Key()
+		if _, ok := wantParents[k]; ok {
+			wantParents[k] = true
+		}
+	}
+	for k, seen := range wantParents {
+		if !seen {
+			t.Errorf("{AB} missing expected parent %v", objsetFromKey(k))
+		}
+	}
+}
+
+func objsetFromKey(key string) objset.Set {
+	ids := make([]objset.ID, 0, len(key)/4)
+	for i := 0; i+3 < len(key); i += 4 {
+		ids = append(ids, objset.ID(key[i])|objset.ID(key[i+1])<<8|
+			objset.ID(key[i+2])<<16|objset.ID(key[i+3])<<24)
+	}
+	return objset.New(ids...)
+}
+
+// TestSSGSubtreePruningSavesWork verifies the headline mechanism: on a
+// feed of two disjoint object communities, SSG visits far fewer states
+// per frame than MFS processes, because each arriving frame skips the
+// other community's subtrees.
+func TestSSGSubtreePruningSavesWork(t *testing.T) {
+	// Community A: objects 1-8; community B: objects 101-108. Frames
+	// alternate between communities.
+	r := rand.New(rand.NewSource(5))
+	var feed []vr.Frame
+	for i := 0; i < 200; i++ {
+		base := objset.ID(1)
+		if i%2 == 1 {
+			base = 101
+		}
+		n := 3 + r.Intn(4)
+		ids := make([]objset.ID, 0, n)
+		for j := 0; j < n; j++ {
+			ids = append(ids, base+objset.ID(r.Intn(8)))
+		}
+		feed = append(feed, vr.Frame{FID: vr.FrameID(i), Objects: objset.New(ids...)})
+	}
+	cfg := Config{Window: 20, Duration: 5}
+	ssg := NewSSG(cfg)
+	mfs := NewMFS(cfg)
+	for _, f := range feed {
+		ssg.Process(f)
+		mfs.Process(f)
+	}
+	sv, mv := ssg.Metrics().StatesVisited, mfs.Metrics().StatesVisited
+	if sv >= mv {
+		t.Errorf("SSG visited %d states, MFS %d; expected SSG to visit fewer on disjoint communities", sv, mv)
+	}
+}
+
+// TestSSGLongRunMemoryBounded feeds many frames with rotating object
+// populations and checks that the node count stays bounded (the sweep
+// plus expiry must reclaim abandoned subtrees).
+func TestSSGLongRunMemoryBounded(t *testing.T) {
+	g := NewSSG(Config{Window: 10, Duration: 2})
+	r := rand.New(rand.NewSource(11))
+	peak := 0
+	for i := 0; i < 2000; i++ {
+		// The population drifts: object ids come from a sliding range,
+		// so old states can never be refreshed.
+		base := objset.ID(i / 10)
+		n := 2 + r.Intn(4)
+		ids := make([]objset.ID, 0, n)
+		for j := 0; j < n; j++ {
+			ids = append(ids, base+objset.ID(r.Intn(6)))
+		}
+		g.Process(vr.Frame{FID: vr.FrameID(i), Objects: objset.New(ids...)})
+		if g.StateCount() > peak {
+			peak = g.StateCount()
+		}
+	}
+	if peak > 2000 {
+		t.Errorf("state count peaked at %d; memory not reclaimed", peak)
+	}
+	if g.StateCount() > 500 {
+		t.Errorf("final state count %d; stale subtrees not swept", g.StateCount())
+	}
+}
+
+// TestSSGEmptyFrameRuns interleaves empty frames (nothing detected) with
+// content and checks results match the oracle.
+func TestSSGEmptyFrameRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	cfg := Config{Window: 5, Duration: 2}
+	var feed []vr.Frame
+	for i := 0; i < 40; i++ {
+		var s objset.Set
+		if r.Intn(3) > 0 {
+			ids := make([]objset.ID, 0, 3)
+			for j := 0; j < 3; j++ {
+				ids = append(ids, objset.ID(1+r.Intn(5)))
+			}
+			s = objset.New(ids...)
+		}
+		feed = append(feed, vr.Frame{FID: vr.FrameID(i), Objects: s})
+	}
+	diffAgainstOracle(t, cfg, feed)
+}
+
+// TestSSGPrincipalStateLifecycle checks Definition 5 bookkeeping: a node
+// is principal while some window frame carries exactly its object set.
+func TestSSGPrincipalStateLifecycle(t *testing.T) {
+	g := NewSSG(Config{Window: 3, Duration: 1})
+	a := objset.New(1, 2)
+	b := objset.New(2, 3)
+	g.Process(vr.Frame{FID: 0, Objects: a})
+	g.Process(vr.Frame{FID: 1, Objects: b})
+	na := g.nodes[a.Key()]
+	if na == nil || len(na.createdBy) != 1 {
+		t.Fatalf("principal bookkeeping for %v: %+v", a, na)
+	}
+	// After w more frames without {1,2}, frame 0 leaves the window; the
+	// node may survive (if still valid) but must no longer be principal.
+	g.Process(vr.Frame{FID: 2, Objects: b})
+	g.Process(vr.Frame{FID: 3, Objects: b})
+	if na := g.nodes[a.Key()]; na != nil && len(na.createdBy) != 0 {
+		t.Errorf("%v still principal after creator frame expired: createdBy=%v", a, na.createdBy)
+	}
+}
+
+func TestSSGStateCountAndName(t *testing.T) {
+	g := NewSSG(Config{Window: 4, Duration: 1})
+	if g.Name() != "SSG" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	g.Process(vr.Frame{FID: 0, Objects: objset.New(1, 2)})
+	if g.StateCount() != 1 {
+		t.Errorf("StateCount = %d", g.StateCount())
+	}
+}

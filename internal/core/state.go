@@ -1,0 +1,331 @@
+// Package core implements the paper's primary contribution: the MCOS
+// Generation layer that incrementally maintains, for a sliding window over
+// the object stream, every maximum co-occurrence object set (MCOS)
+// together with the frames in which it appears.
+//
+// Three generators are provided, matching the paper's experimental
+// subjects:
+//
+//   - Naive:  the baseline of §6.2 — per-object-set frame sets with a
+//     group-by-frame-set maximality check at emission time.
+//   - MFS:    the Marked Frame Set approach of §4.2 — states carry key
+//     frames ("marks"); a state whose marked frames have all expired is
+//     invalid and is pruned immediately.
+//   - SSG:    the Strict State Graph of §4.3 — states are organized in a
+//     graph whose edges follow set containment (Property 1) without
+//     redundancy (Property 2); the State Traversal (ST) algorithm skips
+//     entire subtrees whose intersection with the arriving frame is empty.
+//
+// All three generators emit identical results (this is enforced by
+// differential and oracle tests): the set of valid, satisfied states —
+// MCOSs appearing in at least d frames of the current w-frame window.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Config carries the window parameters shared by all generators.
+type Config struct {
+	// Window is the sliding-window size w in frames. Queries are
+	// evaluated over the most recent w frames.
+	Window int
+	// Duration is the duration threshold d in frames: an MCOS must
+	// appear in at least d frames of the window to be reported
+	// (0 ≤ d ≤ w).
+	Duration int
+	// Terminate, if non-nil, implements the §5.3 pruning strategy: it is
+	// consulted once when a state is created, and if it returns true the
+	// state is dropped immediately and never maintained. It must only
+	// return true when no query can ever be satisfied by the object set
+	// or any of its subsets (sound for ≥-only query sets).
+	Terminate func(objects objset.Set) bool
+}
+
+func (c Config) validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("core: window must be positive, got %d", c.Window)
+	}
+	if c.Duration < 0 || c.Duration > c.Window {
+		return fmt.Errorf("core: duration %d out of range [0, %d]", c.Duration, c.Window)
+	}
+	return nil
+}
+
+// frameEntry records one frame id in a state's frame set together with its
+// key-frame mark (§4.2.3).
+type frameEntry struct {
+	fid    vr.FrameID
+	marked bool
+}
+
+// frameList is a state's frame set: strictly increasing frame ids, each
+// optionally marked as a key frame. Frames are appended at the tail as the
+// feed advances and expired from the head as the window slides.
+type frameList struct {
+	entries []frameEntry
+	marks   int // number of marked entries
+}
+
+func (fl *frameList) len() int       { return len(fl.entries) }
+func (fl *frameList) hasMarks() bool { return fl.marks > 0 }
+
+// insert adds fid with the given mark, keeping entries sorted; it reports
+// whether the frame was newly inserted (false when already present, in
+// which case the existing mark is kept).
+func (fl *frameList) insert(fid vr.FrameID, marked bool) bool {
+	n := len(fl.entries)
+	// Fast path: appending past the tail, the overwhelmingly common case.
+	if n == 0 || fl.entries[n-1].fid < fid {
+		fl.entries = append(fl.entries, frameEntry{fid: fid, marked: marked})
+		if marked {
+			fl.marks++
+		}
+		return true
+	}
+	i := sort.Search(n, func(i int) bool { return fl.entries[i].fid >= fid })
+	if i < n && fl.entries[i].fid == fid {
+		return false
+	}
+	fl.entries = append(fl.entries, frameEntry{})
+	copy(fl.entries[i+1:], fl.entries[i:])
+	fl.entries[i] = frameEntry{fid: fid, marked: marked}
+	if marked {
+		fl.marks++
+	}
+	return true
+}
+
+// contains reports whether fid is in the frame set.
+func (fl *frameList) contains(fid vr.FrameID) bool {
+	i := sort.Search(len(fl.entries), func(i int) bool { return fl.entries[i].fid >= fid })
+	return i < len(fl.entries) && fl.entries[i].fid == fid
+}
+
+// expireBefore removes all entries with fid < min.
+func (fl *frameList) expireBefore(min vr.FrameID) {
+	i := 0
+	for i < len(fl.entries) && fl.entries[i].fid < min {
+		if fl.entries[i].marked {
+			fl.marks--
+		}
+		i++
+	}
+	if i > 0 {
+		fl.entries = fl.entries[i:]
+	}
+}
+
+// fids returns the frame ids as a fresh slice.
+func (fl *frameList) fids() []vr.FrameID {
+	out := make([]vr.FrameID, len(fl.entries))
+	for i, e := range fl.entries {
+		out[i] = e.fid
+	}
+	return out
+}
+
+// key returns a byte-string key identifying the exact frame set, used by
+// the emission-time maximality filter to group states with identical
+// frame sets.
+func (fl *frameList) key() string {
+	buf := make([]byte, 0, len(fl.entries)*8)
+	for _, e := range fl.entries {
+		f := e.fid
+		buf = append(buf,
+			byte(f), byte(f>>8), byte(f>>16), byte(f>>24),
+			byte(f>>32), byte(f>>40), byte(f>>48), byte(f>>56))
+	}
+	return string(buf)
+}
+
+func (fl *frameList) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range fl.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if e.marked {
+			b.WriteByte('*')
+		}
+		fmt.Fprintf(&b, "%d", e.fid)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// State is the basic unit of the MCOS Generation layer (Definition 3): an
+// object set together with the window frames in which all of its objects
+// co-occur. A state is valid when its object set is an MCOS of its frame
+// set; the marked frames track validity incrementally.
+type State struct {
+	// Objects is the co-occurrence object set. Immutable.
+	Objects objset.Set
+
+	frames frameList
+
+	// extra maintains the rest-closure blockers of the state: the
+	// intersection of the object sets of every frame folded in unmarked,
+	// minus Objects. A frame is a key frame (marked) exactly when its
+	// object set contains none of these blockers — removing all marked
+	// frames then leaves a frame set whose closure still contains every
+	// blocker, so Objects is not maximal on it (Definition 4 holds).
+	// hasExtra false means no unmarked frame has been folded yet (the
+	// rest-closure is the universe).
+	extra    objset.Set
+	hasExtra bool
+
+	// terminated marks states dropped by the §5.3 result-driven pruning
+	// strategy; they are never emitted or extended.
+	terminated bool
+
+	// agg caches per-class object counts; it is computed lazily by the
+	// query-evaluation layer (see Aggregate).
+	agg []int
+}
+
+// fold records that the state's objects co-occur in frame fid, whose full
+// object set is of (so Objects ⊆ of). The key-frame mark is decided by
+// the rest-closure rule: fid is marked iff of kills every current
+// blocker; otherwise the blocker set shrinks to its intersection with of
+// and fid stays unmarked. Frames may arrive out of order during merges;
+// folding an already-present frame is a no-op.
+//
+// Marks produced this way always form a key frame set (Definition 4,
+// Theorem 1): the blocker set is, by construction, a subset of the
+// intersection of all unmarked frames' object sets (expiry only shrinks
+// the unmarked set, so staleness errs toward extra marks, never missing
+// ones). Consequently a state that loses all marked frames to expiry has
+// a surviving blocker in every remaining frame and is invalid, which
+// makes pruning on mark-exhaustion safe (Theorem 4).
+func (s *State) fold(fid vr.FrameID, of objset.Set) {
+	var kills bool
+	if !s.hasExtra {
+		// Rest-closure is the universe: only a frame whose object set is
+		// exactly Objects kills everything beyond it. Objects ⊆ of, so
+		// comparing lengths suffices.
+		kills = of.Len() == s.Objects.Len()
+	} else {
+		kills = s.extra.IntersectLen(of) == 0
+	}
+	if kills {
+		s.frames.insert(fid, true)
+		return
+	}
+	if !s.frames.insert(fid, false) {
+		return // already present; blockers unchanged
+	}
+	if !s.hasExtra {
+		s.extra = of.Minus(s.Objects)
+		s.hasExtra = true
+	} else {
+		s.extra = s.extra.Intersect(of)
+	}
+}
+
+// FrameCount returns |Fs|, the number of window frames in which the
+// state's objects co-occur.
+func (s *State) FrameCount() int { return s.frames.len() }
+
+// Frames returns the frame ids of the state's frame set, oldest first.
+// The slice is freshly allocated.
+func (s *State) Frames() []vr.FrameID { return s.frames.fids() }
+
+// MarkedFrames returns the marked (key) frames, oldest first.
+func (s *State) MarkedFrames() []vr.FrameID {
+	out := make([]vr.FrameID, 0, s.frames.marks)
+	for _, e := range s.frames.entries {
+		if e.marked {
+			out = append(out, e.fid)
+		}
+	}
+	return out
+}
+
+// Valid reports whether the state still holds at least one marked frame —
+// the incremental validity test of Theorem 1 / Theorem 4.
+func (s *State) Valid() bool { return s.frames.hasMarks() }
+
+// Terminated reports whether the state was dropped by the §5.3 pruning
+// strategy.
+func (s *State) Terminated() bool { return s.terminated }
+
+// String renders the state like the paper's tables: ({1 2}, {*3 4}).
+func (s *State) String() string {
+	return fmt.Sprintf("(%s, %s)", s.Objects, s.frames.String())
+}
+
+// Aggregate returns the per-class object counts of the state's object set,
+// computing and caching them on first use. classOf resolves an object's
+// class; nclasses bounds the class domain.
+func (s *State) Aggregate(nclasses int, classOf func(objset.ID) vr.Class) []int {
+	if s.agg == nil {
+		agg := make([]int, nclasses)
+		for _, id := range s.Objects.IDs() {
+			if c := int(classOf(id)); c < nclasses {
+				agg[c]++
+			}
+		}
+		s.agg = agg
+	}
+	return s.agg
+}
+
+// Generator is the common interface of the three MCOS generators. Process
+// consumes the next frame (frames must arrive with consecutive ids
+// starting at 0) and returns the window's result state set: every valid
+// state whose object set is an MCOS appearing in at least d frames of the
+// window ending at this frame. The returned states are owned by the
+// generator and must not be mutated; the slice is sorted by object set for
+// deterministic comparison.
+type Generator interface {
+	Name() string
+	Process(f vr.Frame) []*State
+	// StateCount reports the number of live states currently maintained,
+	// for instrumentation and benchmarks.
+	StateCount() int
+}
+
+// Metrics counts the work a generator performed; used by the experiment
+// harness to explain performance differences.
+type Metrics struct {
+	FramesProcessed  int
+	StatesCreated    int
+	StatesPruned     int   // removed because invalid (marks expired) or empty
+	StatesTerminated int   // dropped by the §5.3 strategy
+	Intersections    int64 // object-set intersections computed
+	StatesVisited    int64 // states touched across all frames
+}
+
+// emit applies the duration check and the exact maximality filter shared
+// by all generators: among satisfied states, group by identical frame set
+// and keep only the maximum object set of each group (per Definition 2 a
+// co-occurrence object set of a fixed frame set has a unique maximum).
+// Results are sorted by object set key for determinism.
+func emit(states []*State, duration int, checkMarks bool) []*State {
+	best := make(map[string]*State, len(states))
+	for _, s := range states {
+		if s.terminated || s.FrameCount() < duration || s.FrameCount() == 0 {
+			continue
+		}
+		if checkMarks && !s.Valid() {
+			continue
+		}
+		k := s.frames.key()
+		if cur, ok := best[k]; !ok || s.Objects.Len() > cur.Objects.Len() {
+			best[k] = s
+		}
+	}
+	out := make([]*State, 0, len(best))
+	for _, s := range best {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objects.Key() < out[j].Objects.Key() })
+	return out
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// table is the flat state store shared by the Naive and MFS generators: a
+// hash table mapping object sets to states. Every arriving frame is
+// intersected with every live state (the "first attempt" maintenance of
+// §4.2.2); the two generators differ only in whether key frames are
+// marked and invalid states pruned early (§4.2.3–4.2.4).
+type table struct {
+	cfg      Config
+	useMarks bool
+	states   map[string]*State
+	// window buffers the object set of each live frame; the marking rule
+	// consults it when folding a parent's frames into a new state.
+	window  map[vr.FrameID]objset.Set
+	next    vr.FrameID
+	metrics Metrics
+}
+
+func newTable(cfg Config, useMarks bool) *table {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &table{
+		cfg:      cfg,
+		useMarks: useMarks,
+		states:   make(map[string]*State),
+		window:   make(map[vr.FrameID]objset.Set),
+	}
+}
+
+func (t *table) StateCount() int  { return len(t.states) }
+func (t *table) Metrics() Metrics { return t.metrics }
+
+// pending accumulates, for one distinct intersection value produced while
+// processing a frame, the parent states that generated it. The new
+// state's frame set is the union of all parents' frame sets plus the
+// arriving frame: a frame contains the intersection whenever it contains
+// any parent (§4.2.2 step 2.a, generalized to multiple parents so frame
+// sets stay exact).
+type pending struct {
+	objects objset.Set
+	parents []*State
+}
+
+// Process implements Generator.
+func (t *table) Process(f vr.Frame) []*State {
+	if f.FID != t.next {
+		panic("core: frames must be processed in order starting at 0")
+	}
+	t.next++
+	t.metrics.FramesProcessed++
+	minFID := f.FID - vr.FrameID(t.cfg.Window) + 1
+	for fid := range t.window {
+		if fid < minFID {
+			delete(t.window, fid)
+		}
+	}
+	t.window[f.FID] = f.Objects
+
+	// Phase 1: slide the window — expire old frames, drop dead states.
+	// MFS additionally drops states whose marked frames all expired
+	// (invalid states, Theorem 1).
+	for k, s := range t.states {
+		s.frames.expireBefore(minFID)
+		if s.frames.len() == 0 || (t.useMarks && !s.frames.hasMarks()) {
+			delete(t.states, k)
+			t.metrics.StatesPruned++
+		}
+	}
+
+	if f.Objects.IsEmpty() {
+		return emit(t.collect(), t.cfg.Duration, t.useMarks)
+	}
+
+	// Phase 2: intersect the arriving object set with every live state,
+	// grouping parents by intersection value.
+	newStates := make(map[string]*pending)
+	frameKey := f.Objects.Key()
+	for _, s := range t.states {
+		t.metrics.StatesVisited++
+		t.metrics.Intersections++
+		inter := s.Objects.Intersect(f.Objects)
+		if inter.IsEmpty() {
+			continue
+		}
+		k := inter.Key()
+		p := newStates[k]
+		if p == nil {
+			p = &pending{objects: inter}
+			newStates[k] = p
+		}
+		p.parents = append(p.parents, s)
+	}
+
+	// Phase 3: apply the intersections. An existing state absorbs the
+	// arriving frame; a new intersection materializes a state whose
+	// frame set is the union of its parents' frame sets plus this frame.
+	// Key-frame marks are decided by the rest-closure rule in State.fold
+	// (§4.2.3: the frame creating a state directly is always marked —
+	// fold yields exactly that, since a frame whose object set equals the
+	// state's kills every blocker).
+	for k, p := range newStates {
+		s, exists := t.states[k]
+		if !exists {
+			if t.cfg.Terminate != nil && t.cfg.Terminate(p.objects) {
+				t.metrics.StatesTerminated++
+				continue
+			}
+			s = &State{Objects: p.objects}
+			t.states[k] = s
+			t.metrics.StatesCreated++
+			for _, fid := range unionFids(p.parents) {
+				t.fold(s, fid, t.window[fid])
+			}
+		}
+		t.fold(s, f.FID, f.Objects)
+	}
+
+	// Phase 4 (§4.2.2 step 2.b): if no state carries the frame's own
+	// object set — neither pre-existing nor produced as an intersection —
+	// create it with this frame as its only (marked) member.
+	if _, ok := t.states[frameKey]; !ok {
+		if t.cfg.Terminate != nil && t.cfg.Terminate(f.Objects) {
+			t.metrics.StatesTerminated++
+		} else {
+			s := &State{Objects: f.Objects}
+			t.fold(s, f.FID, f.Objects)
+			t.states[frameKey] = s
+			t.metrics.StatesCreated++
+		}
+	}
+
+	return emit(t.collect(), t.cfg.Duration, t.useMarks)
+}
+
+// fold routes frame insertion through the marking rule for MFS; the Naive
+// baseline stores bare frame sets (its validity check happens wholesale
+// at emission).
+func (t *table) fold(s *State, fid vr.FrameID, of objset.Set) {
+	if t.useMarks {
+		s.fold(fid, of)
+	} else {
+		s.frames.insert(fid, false)
+	}
+}
+
+// unionFids merges the frame ids of several states into one ascending,
+// deduplicated slice.
+func unionFids(states []*State) []vr.FrameID {
+	if len(states) == 1 {
+		return states[0].Frames()
+	}
+	var out []vr.FrameID
+	for _, s := range states {
+		if len(out) == 0 {
+			out = s.Frames()
+			continue
+		}
+		other := s.frames.entries
+		merged := make([]vr.FrameID, 0, len(out)+len(other))
+		i, j := 0, 0
+		for i < len(out) || j < len(other) {
+			switch {
+			case j >= len(other) || (i < len(out) && out[i] < other[j].fid):
+				merged = append(merged, out[i])
+				i++
+			case i >= len(out) || other[j].fid < out[i]:
+				merged = append(merged, other[j].fid)
+				j++
+			default:
+				merged = append(merged, out[i])
+				i++
+				j++
+			}
+		}
+		out = merged
+	}
+	return out
+}
+
+func (t *table) collect() []*State {
+	out := make([]*State, 0, len(t.states))
+	for _, s := range t.states {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Naive is the baseline generator of §6.2: it maintains the frame set of
+// every object set with no early pruning; invalid states are filtered out
+// only at emission time by the group-by-frame-set maximality check.
+type Naive struct{ table }
+
+// NewNaive returns a Naive generator for the given window parameters.
+// It panics if cfg is invalid.
+func NewNaive(cfg Config) *Naive { return &Naive{*newTable(cfg, false)} }
+
+// Name implements Generator.
+func (*Naive) Name() string { return "NAIVE" }
+
+// MFS is the Marked Frame Set generator of §4.2: states carry key-frame
+// marks, and a state whose marked frames have all expired is invalid and
+// is removed immediately, shrinking the set of states each arriving frame
+// must be intersected with.
+type MFS struct{ table }
+
+// NewMFS returns an MFS generator for the given window parameters.
+// It panics if cfg is invalid.
+func NewMFS(cfg Config) *MFS { return &MFS{*newTable(cfg, true)} }
+
+// Name implements Generator.
+func (*MFS) Name() string { return "MFS" }

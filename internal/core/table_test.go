@@ -1,0 +1,502 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Object ids for the paper's running example (§2, Tables 1 and 2).
+const (
+	oA = objset.ID(1)
+	oB = objset.ID(2)
+	oC = objset.ID(3)
+	oD = objset.ID(4)
+	oF = objset.ID(5)
+)
+
+// paperFeed is the five-frame video segment of §2:
+// ({B}, {ABC}, {ABDF}, {ABCF}, {ABD}).
+func paperFeed() []vr.Frame {
+	sets := []objset.Set{
+		objset.New(oB),
+		objset.New(oA, oB, oC),
+		objset.New(oA, oB, oD, oF),
+		objset.New(oA, oB, oC, oF),
+		objset.New(oA, oB, oD),
+	}
+	frames := make([]vr.Frame, len(sets))
+	for i, s := range sets {
+		frames[i] = vr.Frame{FID: vr.FrameID(i), Objects: s}
+	}
+	return frames
+}
+
+func feedFrames(sets []objset.Set) []vr.Frame {
+	frames := make([]vr.Frame, len(sets))
+	for i, s := range sets {
+		frames[i] = vr.Frame{FID: vr.FrameID(i), Objects: s}
+	}
+	return frames
+}
+
+// resultMap renders emitted states as objectset→frameset strings for
+// order-independent comparison.
+func resultMap(states []*State) map[string]string {
+	m := make(map[string]string, len(states))
+	for _, s := range states {
+		m[s.Objects.String()] = fmt.Sprint(s.Frames())
+	}
+	return m
+}
+
+func wantResult(t *testing.T, got []*State, want map[string]string) {
+	t.Helper()
+	gm := resultMap(got)
+	if len(gm) != len(want) {
+		t.Fatalf("got %d results %v, want %d %v", len(gm), gm, len(want), want)
+	}
+	for k, v := range want {
+		if gm[k] != v {
+			t.Fatalf("result[%s] = %s, want %s (all: %v)", k, gm[k], v, gm)
+		}
+	}
+}
+
+// TestPaperTable1 replays the §2 example (w=4, d=3) and checks the EXP
+// column of Table 1 frame by frame, for every generator.
+func TestPaperTable1(t *testing.T) {
+	for _, gen := range allGenerators(Config{Window: 4, Duration: 3}) {
+		t.Run(gen.Name(), func(t *testing.T) {
+			feed := paperFeed()
+
+			wantResult(t, gen.Process(feed[0]), map[string]string{})
+			wantResult(t, gen.Process(feed[1]), map[string]string{})
+			// Frame 2: {B} is an MCOS of {0,1,2}.
+			wantResult(t, gen.Process(feed[2]), map[string]string{
+				"{2}": "[0 1 2]",
+			})
+			// Frame 3: {B} over {0,1,2,3}; {AB} over {1,2,3}.
+			wantResult(t, gen.Process(feed[3]), map[string]string{
+				"{2}":   "[0 1 2 3]",
+				"{1 2}": "[1 2 3]",
+			})
+			// Frame 4: the window is {1,2,3,4}; the only satisfied MCOS is
+			// {AB} ({B} appears in the same frames but is not maximal).
+			wantResult(t, gen.Process(feed[4]), map[string]string{
+				"{1 2}": "[1 2 3 4]",
+			})
+		})
+	}
+}
+
+// TestPaperSection2Example checks the looser thresholds discussed in §2:
+// with d=3 over a 5-frame window, {B} and {AB} qualify; with d=2, the sets
+// {ABC}, {ABD} and {ABF} join them.
+func TestPaperSection2Example(t *testing.T) {
+	t.Run("d=3", func(t *testing.T) {
+		for _, gen := range allGenerators(Config{Window: 5, Duration: 3}) {
+			var last []*State
+			for _, f := range paperFeed() {
+				last = gen.Process(f)
+			}
+			wantResult(t, last, map[string]string{
+				"{2}":   "[0 1 2 3 4]",
+				"{1 2}": "[1 2 3 4]",
+			})
+		}
+	})
+	t.Run("d=2", func(t *testing.T) {
+		for _, gen := range allGenerators(Config{Window: 5, Duration: 2}) {
+			var last []*State
+			for _, f := range paperFeed() {
+				last = gen.Process(f)
+			}
+			wantResult(t, last, map[string]string{
+				"{2}":     "[0 1 2 3 4]",
+				"{1 2}":   "[1 2 3 4]",
+				"{1 2 3}": "[1 3]",
+				"{1 2 4}": "[2 4]",
+				"{1 2 5}": "[2 3]",
+			})
+		}
+	})
+}
+
+// closureOf intersects the object sets of the given frames; ok is false
+// for the empty frame set (whose closure is the universe).
+func closureOf(window map[vr.FrameID]objset.Set, fids []vr.FrameID) (objset.Set, bool) {
+	if len(fids) == 0 {
+		return objset.Empty, false
+	}
+	c := window[fids[0]]
+	for _, fid := range fids[1:] {
+		c = c.Intersect(window[fid])
+	}
+	return c, true
+}
+
+// checkKeyFrameSet verifies Definition 4 for a state: removing every
+// marked frame leaves a frame set of which the state's objects are not an
+// MCOS (condition 1); adding any single marked frame back restores
+// maximality (condition 2). strict=false checks only condition 1, which
+// is the property pruning soundness rests on and holds even after marks
+// go stale under expiry.
+func checkKeyFrameSet(t *testing.T, s *State, window map[vr.FrameID]objset.Set, strict bool) {
+	t.Helper()
+	marks := map[vr.FrameID]bool{}
+	for _, fid := range s.MarkedFrames() {
+		marks[fid] = true
+	}
+	var rest []vr.FrameID
+	for _, fid := range s.Frames() {
+		if !marks[fid] {
+			rest = append(rest, fid)
+		}
+	}
+	// Condition 1: closure(F \ M) must strictly contain the objects.
+	if c, ok := closureOf(window, rest); ok && c.Equal(s.Objects) {
+		t.Fatalf("state %v: marks %v are not a key frame set: closure of rest %v is exactly the object set",
+			s, s.MarkedFrames(), rest)
+	}
+	if !strict {
+		return
+	}
+	// Condition 2: each marked frame alone restores maximality.
+	for m := range marks {
+		c := window[m]
+		if rc, ok := closureOf(window, rest); ok {
+			c = c.Intersect(rc)
+		}
+		if !c.Equal(s.Objects) {
+			t.Fatalf("state %v: marked frame %d does not restore maximality: closure = %v",
+				s, m, c)
+		}
+	}
+}
+
+// TestMarksAreKeyFrameSets replays the §2 example with a window covering
+// the whole feed (no expiry, so marks cannot go stale) and verifies that
+// every MFS state's marked frames form a key frame set per Definition 4 —
+// a stronger check than matching Table 2's particular choice, since key
+// frame sets are not unique (the paper itself lists {1,3}, {2,4} and
+// {1,4} as key frame sets of the same state).
+func TestMarksAreKeyFrameSets(t *testing.T) {
+	g := NewMFS(Config{Window: 5, Duration: 2})
+	window := map[vr.FrameID]objset.Set{}
+	for _, f := range paperFeed() {
+		window[f.FID] = f.Objects
+		g.Process(f)
+		for _, s := range g.states {
+			checkKeyFrameSet(t, s, window, true)
+		}
+	}
+}
+
+// TestMarksStayKeyFrameSetsRandom extends the Definition 4 check to
+// random feeds: strict while nothing has expired, condition 1 always.
+func TestMarksStayKeyFrameSetsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		w := 4 + r.Intn(6)
+		g := NewMFS(Config{Window: w, Duration: 1})
+		feed := randomFeed(r, 25, 5, 5)
+		window := map[vr.FrameID]objset.Set{}
+		for _, f := range feed {
+			window[f.FID] = f.Objects
+			g.Process(f)
+			strict := int(f.FID) < w // no expiry yet
+			for _, s := range g.states {
+				checkKeyFrameSet(t, s, window, strict)
+			}
+		}
+	}
+}
+
+// TestPaperTable2Pruning checks the headline behaviour of Table 2 /
+// Example 2: with w=4, once frame 0 expires the state {B} is invalid
+// (object A co-occurs with B in every remaining frame) and MFS must have
+// pruned it.
+func TestPaperTable2Pruning(t *testing.T) {
+	g := NewMFS(Config{Window: 4, Duration: 3})
+	for _, f := range paperFeed() {
+		g.Process(f)
+	}
+	if s := g.states[objset.New(oB).Key()]; s != nil {
+		t.Errorf("frame 4: {B} still live: %v", s)
+	}
+	if s := g.states[objset.New(oA, oB).Key()]; s == nil {
+		t.Error("frame 4: valid state {AB} was pruned")
+	} else if !s.Valid() {
+		t.Errorf("frame 4: {AB} has no marks: %v", s)
+	}
+}
+
+func TestMFSPrunesInvalidStatesEarly(t *testing.T) {
+	// After frame 4 of the example, NAIVE still holds {B} (invalid) while
+	// MFS has pruned it — the mechanism behind MFS's speedup.
+	naive := NewNaive(Config{Window: 4, Duration: 3})
+	mfs := NewMFS(Config{Window: 4, Duration: 3})
+	for _, f := range paperFeed() {
+		naive.Process(f)
+		mfs.Process(f)
+	}
+	if naive.StateCount() <= mfs.StateCount() {
+		t.Errorf("NAIVE holds %d states, MFS %d; MFS should hold fewer",
+			naive.StateCount(), mfs.StateCount())
+	}
+	if _, ok := naive.states[objset.New(oB).Key()]; !ok {
+		t.Error("NAIVE dropped {B}; it should only be filtered at emission")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []Config{
+		{Window: 0, Duration: 0},
+		{Window: -1, Duration: 0},
+		{Window: 5, Duration: -1},
+		{Window: 5, Duration: 6},
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			NewNaive(cfg)
+		}()
+	}
+}
+
+func TestProcessOutOfOrderPanics(t *testing.T) {
+	g := NewNaive(Config{Window: 4, Duration: 1})
+	g.Process(vr.Frame{FID: 0, Objects: objset.New(1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order frame accepted")
+		}
+	}()
+	g.Process(vr.Frame{FID: 5, Objects: objset.New(1)})
+}
+
+func TestEmptyFrames(t *testing.T) {
+	for _, gen := range allGenerators(Config{Window: 3, Duration: 1}) {
+		t.Run(gen.Name(), func(t *testing.T) {
+			got := gen.Process(vr.Frame{FID: 0, Objects: objset.Empty})
+			if len(got) != 0 {
+				t.Fatalf("empty frame produced results: %v", got)
+			}
+			got = gen.Process(vr.Frame{FID: 1, Objects: objset.New(1)})
+			wantResult(t, got, map[string]string{"{1}": "[1]"})
+			got = gen.Process(vr.Frame{FID: 2, Objects: objset.Empty})
+			wantResult(t, got, map[string]string{"{1}": "[1]"})
+			// Frame 1 expires at fid 4; {1} must disappear.
+			got = gen.Process(vr.Frame{FID: 3, Objects: objset.Empty})
+			wantResult(t, got, map[string]string{"{1}": "[1]"})
+			got = gen.Process(vr.Frame{FID: 4, Objects: objset.Empty})
+			wantResult(t, got, map[string]string{})
+		})
+	}
+}
+
+func TestDurationZeroEmitsImmediately(t *testing.T) {
+	for _, gen := range allGenerators(Config{Window: 4, Duration: 0}) {
+		got := gen.Process(vr.Frame{FID: 0, Objects: objset.New(1, 2)})
+		wantResult(t, got, map[string]string{"{1 2}": "[0]"})
+	}
+}
+
+func TestTermination(t *testing.T) {
+	// Terminate everything not containing object 1: only supersets of {1}
+	// are maintained and emitted.
+	cfg := Config{
+		Window:   4,
+		Duration: 1,
+		Terminate: func(s objset.Set) bool {
+			return !s.Contains(1)
+		},
+	}
+	for _, gen := range allGenerators(cfg) {
+		t.Run(gen.Name(), func(t *testing.T) {
+			gen.Process(vr.Frame{FID: 0, Objects: objset.New(1, 2)})
+			got := gen.Process(vr.Frame{FID: 1, Objects: objset.New(2, 3)})
+			for set := range resultMap(got) {
+				if set == "{2}" || set == "{2 3}" || set == "{3}" {
+					t.Errorf("terminated object set emitted: %s", set)
+				}
+			}
+		})
+	}
+}
+
+// randomFeed builds a feed over a small object alphabet so intersections
+// are frequent, mimicking crowded video with occlusions.
+func randomFeed(r *rand.Rand, nframes, alphabet, maxPerFrame int) []vr.Frame {
+	frames := make([]vr.Frame, nframes)
+	for i := range frames {
+		n := 1 + r.Intn(maxPerFrame)
+		ids := make([]objset.ID, 0, n)
+		for j := 0; j < n; j++ {
+			ids = append(ids, objset.ID(1+r.Intn(alphabet)))
+		}
+		frames[i] = vr.Frame{FID: vr.FrameID(i), Objects: objset.New(ids...)}
+	}
+	return frames
+}
+
+func allGenerators(cfg Config) []Generator {
+	return []Generator{NewNaive(cfg), NewMFS(cfg), NewSSG(cfg), NewOracle(cfg)}
+}
+
+func diffAgainstOracle(t *testing.T, cfg Config, feed []vr.Frame) {
+	t.Helper()
+	oracle := NewOracle(cfg)
+	gens := []Generator{NewNaive(cfg), NewMFS(cfg), NewSSG(cfg)}
+	for _, f := range feed {
+		want := resultMap(oracle.Process(f))
+		for _, g := range gens {
+			got := resultMap(g.Process(f))
+			if len(got) != len(want) {
+				t.Fatalf("%s frame %d: got %d results %v, want %d %v",
+					g.Name(), f.FID, len(got), got, len(want), want)
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("%s frame %d: result[%s] = %q, want %q",
+						g.Name(), f.FID, k, got[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSmall drives all generators over many random feeds and
+// demands frame-exact agreement with the brute-force oracle.
+func TestDifferentialSmall(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		cfg := Config{Window: 2 + r.Intn(6), Duration: 0}
+		cfg.Duration = r.Intn(cfg.Window + 1)
+		feed := randomFeed(r, 15+r.Intn(25), 4+r.Intn(5), 4)
+		diffAgainstOracle(t, cfg, feed)
+	}
+}
+
+// TestDifferentialDense uses denser frames (more objects, more sharing),
+// stressing the marking rules and graph maintenance.
+func TestDifferentialDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense differential test skipped in -short mode")
+	}
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{Window: 4 + r.Intn(8)}
+		cfg.Duration = r.Intn(cfg.Window + 1)
+		feed := randomFeed(r, 40, 6, 6)
+		diffAgainstOracle(t, cfg, feed)
+	}
+}
+
+// TestDifferentialSparse uses a large alphabet so most intersections are
+// empty — the regime where SSG's subtree pruning dominates.
+func TestDifferentialSparse(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{Window: 5}
+		cfg.Duration = r.Intn(cfg.Window + 1)
+		feed := randomFeed(r, 30, 40, 5)
+		diffAgainstOracle(t, cfg, feed)
+	}
+}
+
+// TestDifferentialWithTermination checks that the §5.3 pruning hook leaves
+// non-terminated results untouched.
+func TestDifferentialWithTermination(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		cfg := Config{
+			Window:    4 + r.Intn(4),
+			Terminate: func(s objset.Set) bool { return s.Len() < 2 },
+		}
+		cfg.Duration = r.Intn(cfg.Window + 1)
+		feed := randomFeed(r, 30, 5, 5)
+		diffAgainstOracle(t, cfg, feed)
+	}
+}
+
+// TestFrameSetsAreExact verifies, for every emitted state, that its frame
+// set is exactly the window frames whose object set contains it — the
+// invariant the emission filter relies on.
+func TestFrameSetsAreExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := Config{Window: 6, Duration: 2}
+	feed := randomFeed(r, 50, 5, 5)
+	gens := []Generator{NewNaive(cfg), NewMFS(cfg), NewSSG(cfg)}
+	var window []vr.Frame
+	for _, f := range feed {
+		window = append(window, f)
+		if len(window) > cfg.Window {
+			window = window[1:]
+		}
+		for _, g := range gens {
+			for _, s := range g.Process(f) {
+				var want []vr.FrameID
+				for _, wf := range window {
+					if s.Objects.SubsetOf(wf.Objects) {
+						want = append(want, wf.FID)
+					}
+				}
+				got := s.Frames()
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s frame %d state %v: frames %v, want %v",
+						g.Name(), f.FID, s.Objects, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	g := NewMFS(Config{Window: 4, Duration: 1})
+	for _, f := range paperFeed() {
+		g.Process(f)
+	}
+	m := g.Metrics()
+	if m.FramesProcessed != 5 {
+		t.Errorf("FramesProcessed = %d", m.FramesProcessed)
+	}
+	if m.StatesCreated == 0 || m.Intersections == 0 {
+		t.Errorf("metrics not accumulating: %+v", m)
+	}
+	if m.StatesPruned == 0 {
+		t.Errorf("expected {B} to be counted pruned: %+v", m)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	g := NewMFS(Config{Window: 4, Duration: 3})
+	feed := paperFeed()
+	g.Process(feed[0])
+	s := g.states[objset.New(oB).Key()]
+	if got := s.String(); got != "({2}, {*0})" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAggregateCachesCounts(t *testing.T) {
+	s := &State{Objects: objset.New(1, 2, 3)}
+	classOf := func(id objset.ID) vr.Class { return vr.Class(id % 2) }
+	agg := s.Aggregate(2, classOf)
+	if agg[0] != 1 || agg[1] != 2 {
+		t.Fatalf("agg = %v", agg)
+	}
+	// Second call must return the cached slice.
+	again := s.Aggregate(2, func(objset.ID) vr.Class { panic("must not recompute") })
+	if &again[0] != &agg[0] {
+		t.Error("aggregate not cached")
+	}
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+
+	"tvq/internal/cnf"
+	"tvq/internal/query"
+)
+
+// AddQuery registers a query while the engine is running (the CNFEval
+// index of §5.1 is designed for dynamic insertion). A query joining an
+// existing window group shares that group's state history and sees
+// results immediately; a query opening a new window size gets a fresh
+// generator, so its first results reflect only frames processed from now
+// on (its reported frame sets still use feed frame ids).
+//
+// AddQuery is incompatible with the §5.3 pruning strategy: states already
+// dropped under the old query set might satisfy the new query, so the
+// call is rejected when Options.Prune is set.
+func (e *Engine) AddQuery(q cnf.Query) error {
+	if e.opts.Prune {
+		return fmt.Errorf("engine: AddQuery is unavailable with result-driven pruning enabled")
+	}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, g := range e.groups {
+		for _, existing := range g.eval.Queries() {
+			if existing.ID == q.ID {
+				return fmt.Errorf("engine: duplicate query id %d", q.ID)
+			}
+		}
+	}
+	for _, g := range e.groups {
+		if g.window != q.Window {
+			continue
+		}
+		// Rebuild the group's evaluator over the extended query set. The
+		// existing generator's history is reusable only if the new query
+		// loosens nothing: a smaller duration than the group's push-down
+		// means states below it were withheld, and a class (or identity)
+		// the old filter dropped means its objects are missing from every
+		// state. Either way the group restarts at the current frame.
+		queries := append(append([]cnf.Query{}, g.eval.Queries()...), q)
+		ev, err := query.NewEvaluator(e.opts.Registry, queries)
+		if err != nil {
+			return err
+		}
+		restart := ev.MinDuration() < g.eval.MinDuration()
+		if g.keep != nil && !restart {
+			if q.HasIdentity() {
+				restart = true
+			}
+			for c := range ev.Classes() {
+				if !g.keep[c] {
+					restart = true
+					break
+				}
+			}
+		}
+		if restart {
+			ng, err := e.newGroup(queries)
+			if err != nil {
+				return err
+			}
+			ng.start = e.next
+			*g = *ng
+			return nil
+		}
+		g.eval = ev
+		e.setClassFilter(g)
+		return nil
+	}
+	// New window size: fresh group starting at the current frame.
+	g, err := e.newGroup([]cnf.Query{q})
+	if err != nil {
+		return err
+	}
+	g.start = e.next
+	e.groups = append(e.groups, g)
+	return nil
+}
+
+// RemoveQuery deregisters a query; it reports whether the query was
+// present. Removing the last query of a window group drops the group and
+// its state. Removal is always sound, including under §5.3 pruning
+// (shrinking the query set only enlarges the set of droppable states).
+func (e *Engine) RemoveQuery(id int) (bool, error) {
+	for gi, g := range e.groups {
+		found := false
+		var rest []cnf.Query
+		for _, q := range g.eval.Queries() {
+			if q.ID == id {
+				found = true
+				continue
+			}
+			rest = append(rest, q)
+		}
+		if !found {
+			continue
+		}
+		if len(rest) == 0 {
+			e.groups = append(e.groups[:gi], e.groups[gi+1:]...)
+			return true, nil
+		}
+		ev, err := query.NewEvaluator(e.opts.Registry, rest)
+		if err != nil {
+			return false, err
+		}
+		g.eval = ev
+		e.setClassFilter(g)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Queries returns all registered queries across window groups.
+func (e *Engine) Queries() []cnf.Query {
+	var out []cnf.Query
+	for _, g := range e.groups {
+		out = append(out, g.eval.Queries()...)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+// Package engine assembles the paper's three-layer architecture
+// (Figure 2): the structured relation produced by detection/tracking
+// flows through class filtering into per-window-group MCOS generation and
+// on to CNF query evaluation. Queries sharing a window size share one
+// generator (§3); objects of classes no query asks about are dropped
+// before state maintenance.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"tvq/internal/cnf"
+	"tvq/internal/core"
+	"tvq/internal/objset"
+	"tvq/internal/query"
+	"tvq/internal/vr"
+)
+
+// Method selects the MCOS generation strategy.
+type Method string
+
+// The three strategies evaluated in the paper.
+const (
+	MethodNaive Method = "naive"
+	MethodMFS   Method = "mfs"
+	MethodSSG   Method = "ssg"
+)
+
+// WindowMode selects when query results are produced.
+type WindowMode int
+
+// Window semantics (§2; footnote 1 notes tumbling windows as an
+// alternative the solution supports equally well).
+const (
+	// Sliding evaluates queries at every frame over the last w frames.
+	Sliding WindowMode = iota
+	// Tumbling evaluates queries only when a w-frame block completes,
+	// over exactly that block.
+	Tumbling
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Method selects the state-maintenance strategy; default MethodSSG.
+	Method Method
+	// Prune enables the §5.3 result-driven pruning strategy (the _O
+	// variants of Figure 9). It only takes effect when every condition
+	// of every query uses ≥; otherwise it is ignored.
+	Prune bool
+	// Registry names the object classes; default vr.StandardRegistry().
+	Registry *vr.Registry
+	// KeepAllClasses disables the class-filter push-down of §3, for
+	// ablation experiments.
+	KeepAllClasses bool
+	// Windows selects sliding (default) or tumbling window semantics.
+	Windows WindowMode
+}
+
+// group is one window-size group: an evaluator plus its generator.
+type group struct {
+	window int
+	eval   *query.Evaluator
+	gen    core.Generator
+	keep   map[vr.Class]bool
+	// start is the engine frame id at which the group's generator saw
+	// its first frame; zero for groups present since construction.
+	start vr.FrameID
+}
+
+// Engine evaluates a fixed set of CNF temporal queries over a video feed.
+type Engine struct {
+	opts    Options
+	reg     *vr.Registry
+	groups  []*group
+	classOf func(objset.ID) vr.Class
+	classes map[objset.ID]vr.Class
+	next    vr.FrameID
+}
+
+// New builds an engine for the given queries. Queries are grouped by
+// window size; each group gets its own MCOS generator whose duration
+// push-down is the group's minimum duration.
+func New(queries []cnf.Query, opts Options) (*Engine, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("engine: no queries")
+	}
+	if opts.Method == "" {
+		opts.Method = MethodSSG
+	}
+	if opts.Registry == nil {
+		opts.Registry = vr.StandardRegistry()
+	}
+
+	byWindow := make(map[int][]cnf.Query)
+	for _, q := range queries {
+		byWindow[q.Window] = append(byWindow[q.Window], q)
+	}
+	windows := make([]int, 0, len(byWindow))
+	for w := range byWindow {
+		windows = append(windows, w)
+	}
+	sort.Ints(windows)
+
+	e := &Engine{
+		opts:    opts,
+		reg:     opts.Registry,
+		classes: make(map[objset.ID]vr.Class),
+	}
+	e.classOf = func(id objset.ID) vr.Class { return e.classes[id] }
+
+	for _, w := range windows {
+		g, err := e.newGroup(byWindow[w])
+		if err != nil {
+			return nil, err
+		}
+		e.groups = append(e.groups, g)
+	}
+	return e, nil
+}
+
+// newGroup builds one window group over queries that share a window size.
+func (e *Engine) newGroup(queries []cnf.Query) (*group, error) {
+	ev, err := query.NewEvaluator(e.opts.Registry, queries)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{Window: ev.Window(), Duration: ev.MinDuration()}
+	if e.opts.Prune {
+		cfg.Terminate = ev.TerminatePredicate(e.classOf)
+	}
+	gen, err := newGenerator(e.opts.Method, cfg)
+	if err != nil {
+		return nil, err
+	}
+	g := &group{window: ev.Window(), eval: ev, gen: gen}
+	e.setClassFilter(g)
+	return g, nil
+}
+
+// setClassFilter installs the §3 class push-down unless disabled or the
+// group's queries carry identity constraints (an identity's class is
+// unknown until the object appears, so no class may be dropped).
+func (e *Engine) setClassFilter(g *group) {
+	g.keep = nil
+	if e.opts.KeepAllClasses {
+		return
+	}
+	for _, q := range g.eval.Queries() {
+		if q.HasIdentity() {
+			return
+		}
+	}
+	g.keep = g.eval.Classes()
+}
+
+func newGenerator(m Method, cfg core.Config) (core.Generator, error) {
+	switch m {
+	case MethodNaive:
+		return core.NewNaive(cfg), nil
+	case MethodMFS:
+		return core.NewMFS(cfg), nil
+	case MethodSSG:
+		return core.NewSSG(cfg), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown method %q", m)
+	}
+}
+
+// ProcessFrame consumes the next frame of the feed (ids must be
+// consecutive from 0) and returns all query matches for the windows
+// ending at this frame.
+func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
+	if f.FID != e.next {
+		panic(fmt.Sprintf("engine: frame %d out of order (want %d)", f.FID, e.next))
+	}
+	e.next++
+	for _, id := range f.Objects.IDs() {
+		e.classes[id] = f.Classes[id]
+	}
+
+	var out []query.Match
+	for _, g := range e.groups {
+		gf := f
+		if g.keep != nil {
+			gf.Objects = filterSet(f.Objects, f.Classes, g.keep)
+		}
+		gf.FID = f.FID - g.startFID()
+		states := g.gen.Process(gf)
+		if e.opts.Windows == Tumbling && (gf.FID+1)%vr.FrameID(g.window) != 0 {
+			continue // results only at block boundaries
+		}
+		matches := g.eval.EvaluateStates(states, e.classOf)
+		for i := range matches {
+			shiftFrames(matches[i].Frames, g.startFID())
+		}
+		out = append(out, matches...)
+	}
+	return out
+}
+
+// startFID is the engine frame id at which this group began processing
+// (non-zero for groups added dynamically); generators number frames from
+// zero internally.
+func (g *group) startFID() vr.FrameID { return g.start }
+
+func shiftFrames(frames []vr.FrameID, delta vr.FrameID) {
+	if delta == 0 {
+		return
+	}
+	for i := range frames {
+		frames[i] += delta
+	}
+}
+
+func filterSet(s objset.Set, classes map[objset.ID]vr.Class, keep map[vr.Class]bool) objset.Set {
+	ids := s.IDs()
+	kept := make([]objset.ID, 0, len(ids))
+	for _, id := range ids {
+		if keep[classes[id]] {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) == len(ids) {
+		return s
+	}
+	return objset.FromSorted(kept)
+}
+
+// FrameResult pairs a frame id with its matches, for batch runs.
+type FrameResult struct {
+	FID     vr.FrameID
+	Matches []query.Match
+}
+
+// Run processes an entire trace and returns the frames that produced at
+// least one match.
+func (e *Engine) Run(t *vr.Trace) []FrameResult {
+	var out []FrameResult
+	for _, f := range t.Frames() {
+		if ms := e.ProcessFrame(f); len(ms) > 0 {
+			out = append(out, FrameResult{FID: f.FID, Matches: ms})
+		}
+	}
+	return out
+}
+
+// StateCount reports the total number of live states across all window
+// groups, for instrumentation.
+func (e *Engine) StateCount() int {
+	n := 0
+	for _, g := range e.groups {
+		n += g.gen.StateCount()
+	}
+	return n
+}
+
+// Groups returns the number of window groups.
+func (e *Engine) Groups() int { return len(e.groups) }

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"context"
+
+	"tvq/internal/query"
+	"tvq/internal/vr"
+)
+
+// StreamResult couples one frame's id with its matches, delivered in feed
+// order on the stream channel.
+type StreamResult struct {
+	FID     vr.FrameID
+	Matches []query.Match
+}
+
+// Stream consumes frames from a channel and delivers one StreamResult per
+// frame that produced matches, until the input closes or the context is
+// cancelled. The returned channel is closed when streaming ends. The
+// engine must not be used concurrently by other goroutines while a stream
+// is active (the pipeline is single-writer by design; shard feeds across
+// engines for parallelism).
+func (e *Engine) Stream(ctx context.Context, frames <-chan vr.Frame) <-chan StreamResult {
+	out := make(chan StreamResult)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case f, ok := <-frames:
+				if !ok {
+					return
+				}
+				ms := e.ProcessFrame(f)
+				if len(ms) == 0 {
+					continue
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case out <- StreamResult{FID: f.FID, Matches: ms}:
+				}
+			}
+		}
+	}()
+	return out
+}

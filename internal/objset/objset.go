@@ -1,0 +1,245 @@
+// Package objset implements the object-set algebra that underlies MCOS
+// generation: immutable sets of tracked-object identifiers with fast
+// intersection, subset and equality tests, and a compact key usable as a
+// map key.
+//
+// Sets are stored as strictly increasing slices of object ids. All
+// operations are O(n) merge scans; a Set is never mutated after creation,
+// so Sets may be shared freely between states, graph nodes and result
+// sets.
+package objset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies one tracked object. Identifiers are assigned by the
+// object-tracking layer and are persistent for an object across the frames
+// in which it appears (including across occlusions).
+type ID = uint32
+
+// Set is an immutable, sorted set of object identifiers.
+//
+// The zero value is the empty set.
+type Set struct {
+	ids []ID // strictly increasing
+}
+
+// Empty is the empty object set.
+var Empty = Set{}
+
+// New builds a Set from ids. The input may be unsorted and contain
+// duplicates; it is not retained.
+func New(ids ...ID) Set {
+	if len(ids) == 0 {
+		return Set{}
+	}
+	s := make([]ID, len(ids))
+	copy(s, ids)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Dedupe in place.
+	out := s[:1]
+	for _, id := range s[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return Set{ids: out}
+}
+
+// FromSorted wraps an already strictly-increasing slice without copying.
+// The caller must not modify ids afterwards. It panics if ids is not
+// strictly increasing; this guards the core invariant of the package.
+func FromSorted(ids []ID) Set {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			panic(fmt.Sprintf("objset.FromSorted: ids not strictly increasing at %d: %v", i, ids))
+		}
+	}
+	return Set{ids: ids}
+}
+
+// Len returns the number of objects in the set.
+func (s Set) Len() int { return len(s.ids) }
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool { return len(s.ids) == 0 }
+
+// IDs returns the members in increasing order. The returned slice is
+// shared; callers must not modify it.
+func (s Set) IDs() []ID { return s.ids }
+
+// Contains reports whether id is a member of s.
+func (s Set) Contains(id ID) bool {
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Equal reports whether s and t have identical members.
+func (s Set) Equal(t Set) bool {
+	if len(s.ids) != len(t.ids) {
+		return false
+	}
+	for i, id := range s.ids {
+		if t.ids[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	a, b := s.ids, t.ids
+	if len(a) == 0 || len(b) == 0 {
+		return Set{}
+	}
+	// Quick disjointness test on ranges.
+	if a[len(a)-1] < b[0] || b[len(b)-1] < a[0] {
+		return Set{}
+	}
+	var out []ID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return Set{ids: out}
+}
+
+// IntersectLen returns |s ∩ t| without allocating the intersection.
+func (s Set) IntersectLen(t Set) int {
+	a, b := s.ids, t.ids
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	a, b := s.ids, t.ids
+	if len(a) == 0 {
+		return t
+	}
+	if len(b) == 0 {
+		return s
+	}
+	out := make([]ID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return Set{ids: out}
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	a, b := s.ids, t.ids
+	if len(a) == 0 || len(b) == 0 {
+		return s
+	}
+	var out []ID
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return Set{ids: out}
+}
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	return s.IntersectLen(t) == len(s.ids)
+}
+
+// ProperSubsetOf reports whether s ⊂ t.
+func (s Set) ProperSubsetOf(t Set) bool {
+	return len(s.ids) < len(t.ids) && s.SubsetOf(t)
+}
+
+// Key returns a compact string usable as a map key. Two sets have the
+// same key iff they are Equal. The encoding is a raw little-endian byte
+// string, not human readable; use String for display.
+func (s Set) Key() string {
+	if len(s.ids) == 0 {
+		return ""
+	}
+	buf := make([]byte, 0, len(s.ids)*4)
+	for _, id := range s.ids {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(buf)
+}
+
+// Hash returns a 64-bit FNV-1a hash of the set contents.
+func (s Set) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range s.ids {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(id >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// String renders the set as "{1 2 3}" for debugging and traces.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range s.ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package objset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDedupesAndSorts(t *testing.T) {
+	s := New(5, 1, 3, 1, 5, 2)
+	want := []ID{1, 2, 3, 5}
+	got := s.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	if !Empty.IsEmpty() {
+		t.Error("Empty.IsEmpty() = false")
+	}
+	if Empty.Len() != 0 {
+		t.Errorf("Empty.Len() = %d", Empty.Len())
+	}
+	if Empty.Key() != "" {
+		t.Errorf("Empty.Key() = %q", Empty.Key())
+	}
+	if !New().Equal(Empty) {
+		t.Error("New() != Empty")
+	}
+}
+
+func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted accepted unsorted input")
+		}
+	}()
+	FromSorted([]ID{3, 1})
+}
+
+func TestFromSortedPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSorted accepted duplicate input")
+		}
+	}()
+	FromSorted([]ID{1, 1})
+}
+
+func TestContains(t *testing.T) {
+	s := New(2, 4, 6)
+	for _, id := range []ID{2, 4, 6} {
+		if !s.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []ID{0, 1, 3, 5, 7} {
+		if s.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Set
+	}{
+		{New(1, 2, 3), New(2, 3, 4), New(2, 3)},
+		{New(1, 2), New(3, 4), Empty},
+		{New(), New(1), Empty},
+		{New(1, 2, 3), New(1, 2, 3), New(1, 2, 3)},
+		{New(1, 5, 9), New(5), New(5)},
+		{New(10, 20), New(1, 2), Empty}, // disjoint ranges fast path
+	}
+	for _, tt := range tests {
+		got := tt.a.Intersect(tt.b)
+		if !got.Equal(tt.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if n := tt.a.IntersectLen(tt.b); n != tt.want.Len() {
+			t.Errorf("IntersectLen(%v, %v) = %d, want %d", tt.a, tt.b, n, tt.want.Len())
+		}
+	}
+}
+
+func TestUnionMinus(t *testing.T) {
+	a, b := New(1, 2, 3), New(3, 4)
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 4)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New(1, 2)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := Empty.Union(a); !got.Equal(a) {
+		t.Errorf("Empty ∪ a = %v", got)
+	}
+	if got := a.Minus(Empty); !got.Equal(a) {
+		t.Errorf("a \\ Empty = %v", got)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a, b := New(1, 2), New(1, 2, 3)
+	if !a.SubsetOf(b) || !a.ProperSubsetOf(b) {
+		t.Error("subset checks failed")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊆ a should be false")
+	}
+	if a.ProperSubsetOf(a) {
+		t.Error("a ⊂ a should be false")
+	}
+	if !a.SubsetOf(a) {
+		t.Error("a ⊆ a should be true")
+	}
+	if !Empty.SubsetOf(a) {
+		t.Error("∅ ⊆ a should be true")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a, b := New(1, 2), New(1, 3)
+	if a.Key() == b.Key() {
+		t.Error("distinct sets share a key")
+	}
+	if a.Key() != New(2, 1).Key() {
+		t.Error("equal sets have different keys")
+	}
+	// Keys must distinguish sets whose concatenated ids collide when
+	// naively stringified, e.g. {1,23} vs {12,3}.
+	if New(1, 23).Key() == New(12, 3).Key() {
+		t.Error("key collision between {1,23} and {12,3}")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 1).String(); got != "{1 3}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Empty.String(); got != "{}" {
+		t.Errorf("Empty.String() = %q", got)
+	}
+}
+
+// reference implementations over map[ID]bool for property testing.
+
+func toMap(s Set) map[ID]bool {
+	m := make(map[ID]bool, s.Len())
+	for _, id := range s.IDs() {
+		m[id] = true
+	}
+	return m
+}
+
+func fromMap(m map[ID]bool) Set {
+	ids := make([]ID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return New(ids...)
+}
+
+func randSet(r *rand.Rand) Set {
+	n := r.Intn(12)
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(r.Intn(20))
+	}
+	return New(ids...)
+}
+
+func TestPropertyAgainstMapModel(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r), randSet(r)
+		ma, mb := toMap(a), toMap(b)
+
+		inter := map[ID]bool{}
+		for id := range ma {
+			if mb[id] {
+				inter[id] = true
+			}
+		}
+		union := map[ID]bool{}
+		for id := range ma {
+			union[id] = true
+		}
+		for id := range mb {
+			union[id] = true
+		}
+		minus := map[ID]bool{}
+		for id := range ma {
+			if !mb[id] {
+				minus[id] = true
+			}
+		}
+
+		if !a.Intersect(b).Equal(fromMap(inter)) {
+			return false
+		}
+		if !a.Union(b).Equal(fromMap(union)) {
+			return false
+		}
+		if !a.Minus(b).Equal(fromMap(minus)) {
+			return false
+		}
+		if a.IntersectLen(b) != len(inter) {
+			return false
+		}
+		sub := true
+		for id := range ma {
+			if !mb[id] {
+				sub = false
+			}
+		}
+		if a.SubsetOf(b) != sub {
+			return false
+		}
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAlgebraicLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSet(r), randSet(r), randSet(r)
+		// Commutativity, associativity, idempotence, absorption.
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Intersect(c).Equal(a.Intersect(b.Intersect(c))) {
+			return false
+		}
+		if !a.Intersect(a).Equal(a) || !a.Union(a).Equal(a) {
+			return false
+		}
+		if !a.Intersect(a.Union(b)).Equal(a) {
+			return false
+		}
+		if !a.Union(a.Intersect(b)).Equal(a) {
+			return false
+		}
+		// Intersection is a subset of both operands.
+		i := a.Intersect(b)
+		return i.SubsetOf(a) && i.SubsetOf(b)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDsAreSortedInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		s := randSet(r).Intersect(randSet(r)).Union(randSet(r)).Minus(randSet(r))
+		ids := s.IDs()
+		if !sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+			t.Fatalf("unsorted result: %v", ids)
+		}
+		for j := 1; j < len(ids); j++ {
+			if ids[j] == ids[j-1] {
+				t.Fatalf("duplicate in result: %v", ids)
+			}
+		}
+	}
+}
+
+func TestHashDistinguishesSets(t *testing.T) {
+	seen := map[uint64]Set{}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		s := randSet(r)
+		h := s.Hash()
+		if prev, ok := seen[h]; ok && !prev.Equal(s) {
+			// FNV over ≤12 small ids should essentially never collide.
+			t.Fatalf("hash collision: %v vs %v", prev, s)
+		}
+		seen[h] = s
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ids := make([]ID, 64)
+	for i := range ids {
+		ids[i] = ID(r.Intn(1000))
+	}
+	a := New(ids...)
+	for i := range ids {
+		ids[i] = ID(r.Intn(1000))
+	}
+	c := New(ids...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.Intersect(c)
+	}
+}

@@ -1,0 +1,186 @@
+// Package query is the Query Evaluation module of the paper's
+// architecture (Figure 2, §5): it evaluates CNF count queries against the
+// result state sets produced by the MCOS Generation layer, using the
+// CNFEvalE index, and implements the §5.3 result-driven pruning strategy
+// that feeds back into state maintenance for ≥-only query sets.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"tvq/internal/cnf"
+	"tvq/internal/core"
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Match is one query hit: in the current window, the MCOS Objects
+// appears in the frames Frames (at least the query's duration many) and
+// its per-class counts satisfy the query.
+type Match struct {
+	QueryID int
+	Objects objset.Set
+	Frames  []vr.FrameID
+}
+
+// Evaluator evaluates a fixed set of queries, all sharing one window
+// size, against result state sets. Queries with different windows belong
+// in different evaluators (the engine groups them, as §3 prescribes).
+type Evaluator struct {
+	queries []cnf.Query
+	index   *cnf.EvalE
+	reg     *vr.Registry
+	labels  []string
+	// byID resolves a query's duration at match time: the generator's
+	// push-down uses the group's minimum duration, so individual queries
+	// re-check their own.
+	byID map[int]cnf.Query
+}
+
+// NewEvaluator builds an evaluator over queries. All queries must share
+// the same window size and be valid.
+func NewEvaluator(reg *vr.Registry, queries []cnf.Query) (*Evaluator, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("query: no queries")
+	}
+	w := queries[0].Window
+	byID := make(map[int]cnf.Query, len(queries))
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		if q.Window != w {
+			return nil, fmt.Errorf("query: query %d window %d differs from group window %d", q.ID, q.Window, w)
+		}
+		if _, dup := byID[q.ID]; dup {
+			return nil, fmt.Errorf("query: duplicate query id %d", q.ID)
+		}
+		byID[q.ID] = q
+	}
+	index, err := cnf.NewEvalE(queries...)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluator{
+		queries: queries,
+		index:   index,
+		reg:     reg,
+		labels:  index.Labels(),
+		byID:    byID,
+	}, nil
+}
+
+// Window returns the shared window size of the evaluator's queries.
+func (e *Evaluator) Window() int { return e.queries[0].Window }
+
+// MinDuration returns the smallest duration among the queries — the
+// push-down threshold for the MCOS generator (§3).
+func (e *Evaluator) MinDuration() int {
+	min := e.queries[0].Duration
+	for _, q := range e.queries[1:] {
+		if q.Duration < min {
+			min = q.Duration
+		}
+	}
+	return min
+}
+
+// Classes returns the set of classes referenced by the queries, resolved
+// through the registry; the engine uses it to drop unrequested classes
+// before MCOS generation (§3). Labels that are not registered classes are
+// skipped (they can never match and evaluate as count zero).
+func (e *Evaluator) Classes() map[vr.Class]bool {
+	keep := make(map[vr.Class]bool)
+	for _, label := range e.labels {
+		if c, ok := e.reg.Lookup(label); ok {
+			keep[c] = true
+		}
+	}
+	return keep
+}
+
+// counts derives the per-label object counts of a state, using the
+// state's cached per-class aggregate (§5.2 step 2a).
+func (e *Evaluator) counts(s *core.State, classOf func(objset.ID) vr.Class) map[string]int {
+	agg := s.Aggregate(e.reg.Len(), classOf)
+	counts := make(map[string]int, len(e.labels))
+	for _, label := range e.labels {
+		if c, ok := e.reg.Lookup(label); ok {
+			counts[label] = agg[c]
+		}
+	}
+	return counts
+}
+
+// EvaluateStates runs every query against a result state set and returns
+// all matches, sorted by (query id, object set) for determinism (§5.2
+// step 2).
+func (e *Evaluator) EvaluateStates(states []*core.State, classOf func(objset.ID) vr.Class) []Match {
+	var out []Match
+	for _, s := range states {
+		counts := e.counts(s, classOf)
+		for _, qid := range e.index.MatchesSet(counts, s.Objects.Contains) {
+			if s.FrameCount() < e.byID[qid].Duration {
+				continue // group push-down used the minimum duration
+			}
+			out = append(out, Match{QueryID: qid, Objects: s.Objects, Frames: s.Frames()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].QueryID != out[j].QueryID {
+			return out[i].QueryID < out[j].QueryID
+		}
+		return out[i].Objects.Key() < out[j].Objects.Key()
+	})
+	return out
+}
+
+// GEOnly reports whether the §5.3 pruning strategy is applicable: every
+// condition of every query uses ≥ (Proposition 1).
+func (e *Evaluator) GEOnly() bool { return e.index.GEOnly() }
+
+// TerminatePredicate returns the state-termination predicate of §5.3, or
+// nil when the query set contains non-≥ conditions. The predicate is
+// given to core.Config.Terminate: a newly created state whose object set
+// satisfies no query can be dropped immediately, because per-class counts
+// of subsets are no larger and ≥ conditions are monotone in the counts.
+//
+// Decisions are memoized per object set — the predicate depends only on
+// per-class counts, which are fixed for a given set — so a set that is
+// re-derived as the window slides pays the index scan once. The returned
+// predicate is not safe for concurrent use.
+func (e *Evaluator) TerminatePredicate(classOf func(objset.ID) vr.Class) func(objset.Set) bool {
+	if !e.GEOnly() {
+		return nil
+	}
+	nclasses := e.reg.Len()
+	memo := make(map[string]bool)
+	counts := make(map[string]int, len(e.labels))
+	agg := make([]int, nclasses)
+	return func(objects objset.Set) bool {
+		key := objects.Key()
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		for i := range agg {
+			agg[i] = 0
+		}
+		for _, id := range objects.IDs() {
+			if c := int(classOf(id)); c < nclasses {
+				agg[c]++
+			}
+		}
+		for _, label := range e.labels {
+			if c, ok := e.reg.Lookup(label); ok {
+				counts[label] = agg[c]
+			}
+		}
+		v := !e.index.AnySatisfiedSet(counts, objects.Contains)
+		memo[key] = v
+		return v
+	}
+}
+
+// Queries returns the evaluator's queries.
+func (e *Evaluator) Queries() []cnf.Query { return e.queries }

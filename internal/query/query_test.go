@@ -1,0 +1,218 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"tvq/internal/cnf"
+	"tvq/internal/core"
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+func mkQuery(t *testing.T, id int, text string, w, d int) cnf.Query {
+	t.Helper()
+	q, err := cnf.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.ID, q.Window, q.Duration = id, w, d
+	return q
+}
+
+// classOf maps odd ids to person (0), even ids to car (1).
+func classOf(id objset.ID) vr.Class {
+	if id%2 == 1 {
+		return 0
+	}
+	return 1
+}
+
+// buildStates runs MFS over a tiny feed and returns the last result state
+// set, so tests exercise real states.
+func buildStates(t *testing.T, sets []objset.Set, w, d int) []*core.State {
+	t.Helper()
+	g := core.NewMFS(core.Config{Window: w, Duration: d})
+	var last []*core.State
+	for i, s := range sets {
+		last = g.Process(vr.Frame{FID: vr.FrameID(i), Objects: s})
+	}
+	return last
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	reg := vr.StandardRegistry()
+	if _, err := NewEvaluator(reg, nil); err == nil {
+		t.Error("empty query set accepted")
+	}
+	qs := []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 10, 5),
+		mkQuery(t, 2, "car >= 1", 20, 5),
+	}
+	if _, err := NewEvaluator(reg, qs); err == nil {
+		t.Error("mixed windows accepted")
+	}
+	dup := []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 10, 5),
+		mkQuery(t, 1, "person >= 1", 10, 5),
+	}
+	if _, err := NewEvaluator(reg, dup); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+	bad := mkQuery(t, 1, "car >= 1", 10, 5)
+	bad.Duration = 99
+	if _, err := NewEvaluator(reg, []cnf.Query{bad}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestMinDurationAndWindow(t *testing.T) {
+	reg := vr.StandardRegistry()
+	ev, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 10, 7),
+		mkQuery(t, 2, "car >= 1", 10, 3),
+		mkQuery(t, 3, "car >= 1", 10, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Window() != 10 {
+		t.Errorf("Window = %d", ev.Window())
+	}
+	if ev.MinDuration() != 3 {
+		t.Errorf("MinDuration = %d", ev.MinDuration())
+	}
+}
+
+func TestClasses(t *testing.T) {
+	reg := vr.StandardRegistry()
+	ev, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 1, "car >= 1 AND unicorn >= 1", 10, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := ev.Classes()
+	carClass, _ := reg.Lookup("car")
+	if !keep[carClass] || len(keep) != 1 {
+		t.Errorf("Classes = %v", keep)
+	}
+}
+
+func TestEvaluateStates(t *testing.T) {
+	reg := vr.StandardRegistry()
+	// Objects 1,3 = person; 2,4 = car.
+	ev, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 1, "car >= 2", 4, 2),
+		mkQuery(t, 2, "person >= 1 AND car >= 1", 4, 2),
+		mkQuery(t, 3, "person >= 3", 4, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed: {2,4} ×3 frames, then {1,2,4}.
+	states := buildStates(t, []objset.Set{
+		objset.New(2, 4),
+		objset.New(2, 4),
+		objset.New(2, 4),
+		objset.New(1, 2, 4),
+	}, 4, 2)
+	matches := ev.EvaluateStates(states, classOf)
+	// {2,4} appears in 4 frames: satisfies q1 (2 cars) but not q2/q3.
+	var qids []int
+	for _, m := range matches {
+		qids = append(qids, m.QueryID)
+	}
+	if !reflect.DeepEqual(qids, []int{1}) {
+		t.Fatalf("matches = %+v", matches)
+	}
+	if got := matches[0].Objects.String(); got != "{2 4}" {
+		t.Errorf("objects = %s", got)
+	}
+	if len(matches[0].Frames) != 4 {
+		t.Errorf("frames = %v", matches[0].Frames)
+	}
+}
+
+func TestPerQueryDurationRecheck(t *testing.T) {
+	reg := vr.StandardRegistry()
+	ev, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 5, 1), // permissive: group pushdown = 1
+		mkQuery(t, 2, "car >= 1", 5, 4), // strict
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := buildStates(t, []objset.Set{
+		objset.New(2),
+		objset.New(2),
+	}, 5, 1)
+	matches := ev.EvaluateStates(states, classOf)
+	for _, m := range matches {
+		if m.QueryID == 2 {
+			t.Fatalf("query 2 (d=4) matched with only %d frames", len(m.Frames))
+		}
+	}
+	if len(matches) == 0 {
+		t.Fatal("query 1 should match")
+	}
+}
+
+func TestGEOnlyAndTerminatePredicate(t *testing.T) {
+	reg := vr.StandardRegistry()
+	ge, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 1, "car >= 2", 10, 5),
+		mkQuery(t, 2, "person >= 1 AND car >= 1", 10, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ge.GEOnly() {
+		t.Fatal("GEOnly = false")
+	}
+	pred := ge.TerminatePredicate(classOf)
+	if pred == nil {
+		t.Fatal("TerminatePredicate = nil for ≥-only queries")
+	}
+	// {2,4}: 2 cars → q1 satisfiable → keep (predicate false).
+	if pred(objset.New(2, 4)) {
+		t.Error("predicate dropped a satisfying set")
+	}
+	// {1}: 1 person, 0 cars → neither query satisfiable → drop.
+	if !pred(objset.New(1)) {
+		t.Error("predicate kept a hopeless set")
+	}
+
+	mixed, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 1, "car >= 2 AND person <= 1", 10, 5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.GEOnly() {
+		t.Error("GEOnly = true for mixed query set")
+	}
+	if mixed.TerminatePredicate(classOf) != nil {
+		t.Error("TerminatePredicate != nil for mixed query set")
+	}
+}
+
+func TestMatchesSortedDeterministically(t *testing.T) {
+	reg := vr.StandardRegistry()
+	ev, err := NewEvaluator(reg, []cnf.Query{
+		mkQuery(t, 2, "car >= 1", 4, 1),
+		mkQuery(t, 1, "car >= 1", 4, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := buildStates(t, []objset.Set{
+		objset.New(2), objset.New(2, 4),
+	}, 4, 1)
+	matches := ev.EvaluateStates(states, classOf)
+	for i := 1; i < len(matches); i++ {
+		if matches[i-1].QueryID > matches[i].QueryID {
+			t.Fatalf("matches not sorted by query id: %+v", matches)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package track simulates the object detection and tracking layer of the
+// paper's architecture (Figure 2). The paper runs Faster R-CNN for
+// detection and Deep SORT for tracking; those models are unavailable in a
+// pure-Go, offline build, so this package stands in for them: it takes
+// ground truth from package video and produces the structured relation
+// VR(fid, id, class) with the imperfections the paper's query semantics
+// were designed to absorb —
+//
+//   - detection misses: an object present in the scene is absent from a
+//     frame's detections (adds occlusion-like gaps);
+//   - identity switches: the tracker loses an object mid-life and assigns
+//     it a fresh identifier (the tracking errors discussed in §1);
+//   - false positives: spurious short-lived detections.
+//
+// All noise is deterministic in the configured seed, so experiments are
+// reproducible. A zero Noise value reproduces ground truth exactly.
+package track
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tvq/internal/objset"
+	"tvq/internal/video"
+	"tvq/internal/vr"
+)
+
+// Noise configures tracker imperfections. Probabilities are per
+// object-frame unless stated otherwise.
+type Noise struct {
+	// MissProb is the probability that a present object goes undetected
+	// in a frame.
+	MissProb float64
+	// SwitchProb is the probability per object-frame that the tracker
+	// loses the object's identity: subsequent detections of the object
+	// carry a fresh identifier.
+	SwitchProb float64
+	// FalsePositiveRate is the expected number of spurious detections
+	// per frame; each spurious object persists for a handful of frames.
+	FalsePositiveRate float64
+	// FalsePositiveClass is the class assigned to spurious detections;
+	// defaults to "car".
+	FalsePositiveClass string
+	// Seed makes the noise deterministic.
+	Seed int64
+}
+
+func (n Noise) validate() error {
+	if n.MissProb < 0 || n.MissProb >= 1 {
+		return fmt.Errorf("track: miss probability %.3f out of [0, 1)", n.MissProb)
+	}
+	if n.SwitchProb < 0 || n.SwitchProb >= 1 {
+		return fmt.Errorf("track: switch probability %.3f out of [0, 1)", n.SwitchProb)
+	}
+	if n.FalsePositiveRate < 0 {
+		return fmt.Errorf("track: negative false-positive rate")
+	}
+	return nil
+}
+
+// Detect renders a scene through the simulated detector/tracker and
+// returns the extracted relation. Identifier switches allocate fresh ids
+// above the scene's id range, exactly as a tracker would mint new track
+// ids.
+func Detect(sc *video.Scene, reg *vr.Registry, n Noise) (*vr.Trace, error) {
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(n.Seed))
+
+	nextID := objset.ID(1)
+	for _, o := range sc.Objects {
+		if o.ID >= nextID {
+			nextID = o.ID + 1
+		}
+	}
+
+	classes := make(map[objset.ID]vr.Class)
+	perFrame := make([][]objset.ID, sc.Profile.Frames)
+
+	for _, o := range sc.Objects {
+		cls := reg.Class(o.Class)
+		cur := o.ID
+		classes[cur] = cls
+		for _, seg := range o.Segments {
+			for f := seg.From; f < seg.To; f++ {
+				if f < 0 || int(f) >= len(perFrame) {
+					continue
+				}
+				if n.SwitchProb > 0 && r.Float64() < n.SwitchProb {
+					cur = nextID
+					nextID++
+					classes[cur] = cls
+				}
+				if n.MissProb > 0 && r.Float64() < n.MissProb {
+					continue
+				}
+				perFrame[f] = append(perFrame[f], cur)
+			}
+		}
+	}
+
+	// False positives: Poisson arrivals, short geometric lifetimes.
+	if n.FalsePositiveRate > 0 {
+		fpClass := n.FalsePositiveClass
+		if fpClass == "" {
+			fpClass = "car"
+		}
+		cls := reg.Class(fpClass)
+		for f := 0; f < len(perFrame); f++ {
+			k := poissonSmall(r, n.FalsePositiveRate)
+			for j := 0; j < k; j++ {
+				id := nextID
+				nextID++
+				classes[id] = cls
+				life := 1 + r.Intn(5)
+				for g := f; g < f+life && g < len(perFrame); g++ {
+					perFrame[g] = append(perFrame[g], id)
+				}
+			}
+		}
+	}
+
+	frames := make([]objset.Set, len(perFrame))
+	for i, ids := range perFrame {
+		frames[i] = objset.New(ids...)
+	}
+	return vr.NewTraceFromFrames(frames, classes), nil
+}
+
+// DetectPerfect renders a scene with no noise: ground-truth tracking.
+func DetectPerfect(sc *video.Scene, reg *vr.Registry) *vr.Trace {
+	return sc.Render(reg)
+}
+
+func poissonSmall(r *rand.Rand, lambda float64) int {
+	// Inversion by sequential search; lambda ≤ ~5 in practice.
+	p := r.Float64()
+	term := math.Exp(-lambda) // e^-λ · λ^k / k! for k = 0
+	cum := term
+	k := 0
+	for cum < p && k < 100 {
+		k++
+		term *= lambda / float64(k)
+		cum += term
+	}
+	return k
+}

@@ -1,0 +1,129 @@
+package track
+
+import (
+	"testing"
+
+	"tvq/internal/video"
+	"tvq/internal/vr"
+)
+
+func scene(t *testing.T) *video.Scene {
+	t.Helper()
+	sc, err := video.Generate(video.D1(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestZeroNoiseMatchesGroundTruth(t *testing.T) {
+	sc := scene(t)
+	reg := vr.StandardRegistry()
+	got, err := Detect(sc, reg, Noise{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DetectPerfect(sc, vr.StandardRegistry())
+	if got.Len() != want.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if !got.Frame(i).Objects.Equal(want.Frame(i).Objects) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestMissesReduceAppearances(t *testing.T) {
+	sc := scene(t)
+	reg := vr.StandardRegistry()
+	clean, _ := Detect(sc, reg, Noise{Seed: 1})
+	noisy, err := Detect(sc, vr.StandardRegistry(), Noise{MissProb: 0.2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ns := vr.ComputeStats(clean), vr.ComputeStats(noisy)
+	if ns.ObjPerFrame >= cs.ObjPerFrame {
+		t.Errorf("misses did not reduce density: %.2f vs %.2f", ns.ObjPerFrame, cs.ObjPerFrame)
+	}
+	if ns.OccPerObj <= cs.OccPerObj {
+		t.Errorf("misses did not add occlusion gaps: %.2f vs %.2f", ns.OccPerObj, cs.OccPerObj)
+	}
+}
+
+func TestSwitchesIncreaseUniqueIDs(t *testing.T) {
+	sc := scene(t)
+	reg := vr.StandardRegistry()
+	clean, _ := Detect(sc, reg, Noise{Seed: 2})
+	noisy, err := Detect(sc, vr.StandardRegistry(), Noise{SwitchProb: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vr.ComputeStats(noisy).Objects, vr.ComputeStats(clean).Objects; got <= want {
+		t.Errorf("switches did not mint new ids: %d vs %d", got, want)
+	}
+}
+
+func TestFalsePositivesAddObjects(t *testing.T) {
+	sc := scene(t)
+	reg := vr.StandardRegistry()
+	clean, _ := Detect(sc, reg, Noise{Seed: 3})
+	noisy, err := Detect(sc, vr.StandardRegistry(), Noise{FalsePositiveRate: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vr.ComputeStats(noisy).Objects, vr.ComputeStats(clean).Objects; got <= want {
+		t.Errorf("false positives did not add objects: %d vs %d", got, want)
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	sc := scene(t)
+	n := Noise{MissProb: 0.1, SwitchProb: 0.005, FalsePositiveRate: 0.02, Seed: 9}
+	a, err := Detect(sc, vr.StandardRegistry(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Detect(sc, vr.StandardRegistry(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ across identical runs")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Frame(i).Objects.Equal(b.Frame(i).Objects) {
+			t.Fatalf("frame %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestNoiseValidation(t *testing.T) {
+	sc := scene(t)
+	reg := vr.StandardRegistry()
+	bad := []Noise{
+		{MissProb: -0.1},
+		{MissProb: 1.0},
+		{SwitchProb: -0.1},
+		{SwitchProb: 1.0},
+		{FalsePositiveRate: -1},
+	}
+	for i, n := range bad {
+		if _, err := Detect(sc, reg, n); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestClassConsistencyUnderNoise(t *testing.T) {
+	sc := scene(t)
+	tr, err := Detect(sc, vr.StandardRegistry(), Noise{
+		MissProb: 0.15, SwitchProb: 0.01, FalsePositiveRate: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vr.NewTrace(tr.Tuples()); err != nil {
+		t.Fatalf("noise broke class consistency: %v", err)
+	}
+}

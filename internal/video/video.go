@@ -1,0 +1,440 @@
+// Package video synthesizes object streams with the statistical shape of
+// real surveillance footage. It stands in for the paper's video corpora
+// (VisualRoad renderings and the Detrac/MOT16 clips): the query layers
+// consume only the extracted relation VR(fid, id, class), and the
+// performance behaviour the paper studies is driven by per-dataset
+// statistics — objects per frame, occlusions per object, frames per
+// object (Table 6) — all of which the generator reproduces.
+//
+// A Scene is ground truth: objects with presence intervals, classes and
+// occlusion gaps. Scenes are rendered to a vr.Trace directly (perfect
+// tracking) or through package track, which simulates detector/tracker
+// imperfections. The occlusion parameter po of §6.2 (object-id reuse) is
+// implemented by ReuseIDs.
+package video
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Profile describes the statistical shape of a dataset, mirroring the
+// columns of Table 6.
+type Profile struct {
+	Name string
+	// Frames is the total number of frames to generate.
+	Frames int
+	// Objects is the number of unique ground-truth objects.
+	Objects int
+	// FramesPerObj is the mean number of frames each object is visible
+	// (F/Obj in Table 6).
+	FramesPerObj float64
+	// OccPerObj is the mean number of occlusion gaps per object
+	// (Occ/Obj in Table 6).
+	OccPerObj float64
+	// ClassMix gives relative weights over class names; objects draw
+	// their class from this distribution. Empty means a single class
+	// "object".
+	ClassMix map[string]float64
+	// MovingCamera marks profiles captured by a moving camera (M1, M2):
+	// object entries cluster in bursts as the camera pans, producing a
+	// higher rate of new object sets per frame.
+	MovingCamera bool
+}
+
+// Validate checks the profile is generable.
+func (p Profile) Validate() error {
+	if p.Frames <= 0 {
+		return fmt.Errorf("video: profile %q: frames must be positive", p.Name)
+	}
+	if p.Objects <= 0 {
+		return fmt.Errorf("video: profile %q: objects must be positive", p.Name)
+	}
+	if p.FramesPerObj <= 0 || p.FramesPerObj > float64(p.Frames) {
+		return fmt.Errorf("video: profile %q: frames per object %.2f out of range", p.Name, p.FramesPerObj)
+	}
+	if p.OccPerObj < 0 {
+		return fmt.Errorf("video: profile %q: occlusions per object must be non-negative", p.Name)
+	}
+	for name, w := range p.ClassMix {
+		if w < 0 {
+			return fmt.Errorf("video: profile %q: negative weight for class %q", p.Name, name)
+		}
+	}
+	return nil
+}
+
+// Object is one ground-truth tracked object: its identifier, class name
+// and the frame intervals during which it is visible (occlusion gaps
+// separate the segments).
+type Object struct {
+	ID       objset.ID
+	Class    string
+	Segments []Segment
+}
+
+// Segment is a half-open presence interval [From, To).
+type Segment struct {
+	From, To vr.FrameID
+}
+
+// Frames returns the number of frames the object is visible.
+func (o Object) Frames() int {
+	n := 0
+	for _, s := range o.Segments {
+		n += int(s.To - s.From)
+	}
+	return n
+}
+
+// Scene is a generated ground truth: objects over a frame range.
+type Scene struct {
+	Profile Profile
+	Objects []Object
+}
+
+// Generate synthesizes a scene for the profile using the given seed.
+// Generation is deterministic in (profile, seed).
+func Generate(p Profile, seed int64) (*Scene, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	classes := classSampler(p.ClassMix, r)
+
+	sc := &Scene{Profile: p}
+	for i := 0; i < p.Objects; i++ {
+		visible := sampleAround(r, p.FramesPerObj)
+		if visible < 1 {
+			visible = 1
+		}
+		if visible > p.Frames {
+			visible = p.Frames
+		}
+		gaps := poisson(r, p.OccPerObj)
+		segments := buildSegments(r, visible, gaps)
+
+		span := 0
+		for _, s := range segments {
+			span += int(s.To - s.From)
+		}
+		gapTotal := totalGap(segments)
+		lifetime := span + gapTotal
+
+		var arrival int
+		if p.MovingCamera {
+			// Moving cameras introduce objects in bursts: cluster
+			// arrivals around pan events spread across the clip.
+			nbursts := 1 + p.Frames/90
+			burst := r.Intn(nbursts)
+			center := (burst*p.Frames)/nbursts + r.Intn(p.Frames/nbursts+1)
+			arrival = center - lifetime/2
+		} else {
+			arrival = r.Intn(maxInt(1, p.Frames-lifetime+1))
+		}
+		if arrival < 0 {
+			arrival = 0
+		}
+
+		obj := Object{ID: objset.ID(i + 1), Class: classes()}
+		for _, s := range segments {
+			from := vr.FrameID(arrival) + s.From
+			to := vr.FrameID(arrival) + s.To
+			if from >= vr.FrameID(p.Frames) {
+				break
+			}
+			if to > vr.FrameID(p.Frames) {
+				to = vr.FrameID(p.Frames)
+			}
+			obj.Segments = append(obj.Segments, Segment{From: from, To: to})
+		}
+		if len(obj.Segments) == 0 {
+			obj.Segments = []Segment{{From: vr.FrameID(p.Frames - 1), To: vr.FrameID(p.Frames)}}
+		}
+		sc.Objects = append(sc.Objects, obj)
+	}
+	return sc, nil
+}
+
+// buildSegments splits `visible` frames of presence into gaps+1 segments
+// separated by occlusion gaps of geometric length (mean ≈ 8 frames,
+// roughly a quarter second at 30 fps).
+func buildSegments(r *rand.Rand, visible, gaps int) []Segment {
+	if gaps >= visible {
+		gaps = visible - 1
+	}
+	if gaps < 0 {
+		gaps = 0
+	}
+	// Split the visible frames into gaps+1 positive parts.
+	parts := splitPositive(r, visible, gaps+1)
+	var segments []Segment
+	var cursor vr.FrameID
+	for i, part := range parts {
+		if i > 0 {
+			gap := 1 + geometric(r, 8)
+			cursor += vr.FrameID(gap)
+		}
+		segments = append(segments, Segment{From: cursor, To: cursor + vr.FrameID(part)})
+		cursor += vr.FrameID(part)
+	}
+	return segments
+}
+
+func totalGap(segments []Segment) int {
+	g := 0
+	for i := 1; i < len(segments); i++ {
+		g += int(segments[i].From - segments[i-1].To)
+	}
+	return g
+}
+
+// splitPositive splits total into n positive integers summing to total,
+// uniformly-ish.
+func splitPositive(r *rand.Rand, total, n int) []int {
+	if n <= 1 {
+		return []int{total}
+	}
+	if n > total {
+		n = total
+	}
+	cuts := make([]int, 0, n-1)
+	used := map[int]bool{}
+	for len(cuts) < n-1 {
+		c := 1 + r.Intn(total-1)
+		if !used[c] {
+			used[c] = true
+			cuts = append(cuts, c)
+		}
+	}
+	sort.Ints(cuts)
+	parts := make([]int, 0, n)
+	prev := 0
+	for _, c := range cuts {
+		parts = append(parts, c-prev)
+		prev = c
+	}
+	parts = append(parts, total-prev)
+	return parts
+}
+
+// sampleAround draws a positive integer with the given mean: exponential
+// with the mean, clamped — giving realistic spread in object lifetimes.
+func sampleAround(r *rand.Rand, mean float64) int {
+	v := r.ExpFloat64() * mean
+	if v < 1 {
+		v = 1
+	}
+	return int(math.Round(v))
+}
+
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// Knuth's method; lambda is small (< 10) in all profiles.
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func geometric(r *rand.Rand, mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / float64(mean)
+	n := 0
+	for r.Float64() >= p {
+		n++
+		if n > mean*20 {
+			break
+		}
+	}
+	return n
+}
+
+func classSampler(mix map[string]float64, r *rand.Rand) func() string {
+	if len(mix) == 0 {
+		return func() string { return "object" }
+	}
+	names := make([]string, 0, len(mix))
+	for name := range mix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0.0
+	cum := make([]float64, len(names))
+	for i, name := range names {
+		total += mix[name]
+		cum[i] = total
+	}
+	return func() string {
+		x := r.Float64() * total
+		for i, c := range cum {
+			if x < c {
+				return names[i]
+			}
+		}
+		return names[len(names)-1]
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Render converts ground truth to the structured relation with perfect
+// detection and tracking: every object appears in exactly the frames of
+// its segments. reg resolves class names.
+func (sc *Scene) Render(reg *vr.Registry) *vr.Trace {
+	classes := make(map[objset.ID]vr.Class, len(sc.Objects))
+	perFrame := make([][]objset.ID, sc.Profile.Frames)
+	for _, o := range sc.Objects {
+		classes[o.ID] = reg.Class(o.Class)
+		for _, s := range o.Segments {
+			for f := s.From; f < s.To && int(f) < len(perFrame); f++ {
+				if f >= 0 {
+					perFrame[f] = append(perFrame[f], o.ID)
+				}
+			}
+		}
+	}
+	frames := make([]objset.Set, len(perFrame))
+	for i, ids := range perFrame {
+		frames[i] = objset.New(ids...)
+	}
+	return vr.NewTraceFromFrames(frames, classes)
+}
+
+// ReuseIDs implements the occlusion parameter po of §6.2: after an object
+// disappears for good, its identifier may be handed to a later-arriving
+// object of the same class, at most po times per identifier. The result
+// is a trace with fewer unique identifiers and correspondingly more
+// occlusion gaps per identifier — the paper's device for stressing
+// occlusion handling. po = 0 returns the trace unchanged.
+func ReuseIDs(t *vr.Trace, po int, seed int64) *vr.Trace {
+	if po <= 0 {
+		return t
+	}
+	type life struct {
+		id          objset.ID
+		class       vr.Class
+		first, last vr.FrameID
+	}
+	classes := t.Classes()
+	lives := make(map[objset.ID]*life)
+	for _, f := range t.Frames() {
+		for _, id := range f.Objects.IDs() {
+			l := lives[id]
+			if l == nil {
+				l = &life{id: id, class: classes[id], first: f.FID, last: f.FID}
+				lives[id] = l
+			}
+			l.last = f.FID
+		}
+	}
+	ordered := make([]*life, 0, len(lives))
+	for _, l := range lives {
+		ordered = append(ordered, l)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].first != ordered[j].first {
+			return ordered[i].first < ordered[j].first
+		}
+		return ordered[i].id < ordered[j].id
+	})
+
+	r := rand.New(rand.NewSource(seed))
+	// retired[class] holds identifiers whose object has left, with their
+	// departure frame; uses counts how often each identifier has been
+	// handed to a new object so far ("each object id will be reused at
+	// most po times", §6.2 — the cap is cumulative across chains).
+	type retiree struct {
+		id   objset.ID
+		left vr.FrameID
+	}
+	retired := make(map[vr.Class][]retiree)
+	uses := make(map[objset.ID]int)
+	remap := make(map[objset.ID]objset.ID, len(ordered))
+	var retireQueue []*life // lives ordered by last frame, to retire lazily
+	retireQueue = append(retireQueue, ordered...)
+	sort.Slice(retireQueue, func(i, j int) bool { return retireQueue[i].last < retireQueue[j].last })
+	qi := 0
+
+	// Only objects that departed recently are candidates for id reuse: a
+	// tracker confusing two objects does so across a short gap, and only
+	// a reappearance within a query window exercises occlusion handling.
+	// Reusing arbitrarily old ids would merely rename objects.
+	const maxGap = 300 // frames, one default window
+
+	for _, l := range ordered {
+		// Retire everything that departed strictly before this arrival.
+		for qi < len(retireQueue) && retireQueue[qi].last < l.first {
+			dead := retireQueue[qi]
+			qi++
+			finalID := remap[dead.id]
+			if finalID == 0 {
+				finalID = dead.id
+			}
+			if uses[finalID] < po {
+				retired[dead.class] = append(retired[dead.class], retiree{id: finalID, left: dead.last})
+			}
+		}
+		// Evict retirees whose departure is too old to matter.
+		pool := retired[l.class]
+		live := pool[:0]
+		for _, rt := range pool {
+			if rt.left+maxGap >= l.first {
+				live = append(live, rt)
+			}
+		}
+		pool = live
+		// The chance that an arriving object takes over a retired id
+		// grows with po, so the number of reuse events — and with it the
+		// occlusion count per identifier — rises monotonically, matching
+		// how the paper's experiments stress the parameter.
+		reuseProb := 0.3 + 0.1*float64(po)
+		if len(pool) > 0 && r.Float64() < reuseProb {
+			pick := r.Intn(len(pool))
+			id := pool[pick].id
+			remap[l.id] = id
+			uses[id]++
+			if uses[id] >= po {
+				pool[pick] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+			}
+		}
+		retired[l.class] = pool
+	}
+
+	newClasses := make(map[objset.ID]vr.Class)
+	frames := make([]objset.Set, t.Len())
+	for i, f := range t.Frames() {
+		ids := make([]objset.ID, 0, f.Objects.Len())
+		for _, id := range f.Objects.IDs() {
+			nid := id
+			if m, ok := remap[id]; ok {
+				nid = m
+			}
+			ids = append(ids, nid)
+			newClasses[nid] = classes[id]
+		}
+		frames[i] = objset.New(ids...)
+	}
+	return vr.NewTraceFromFrames(frames, newClasses)
+}

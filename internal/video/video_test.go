@@ -1,0 +1,265 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tvq/internal/vr"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := V1()
+	a, err := Generate(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Objects) != len(b.Objects) {
+		t.Fatalf("object counts differ: %d vs %d", len(a.Objects), len(b.Objects))
+	}
+	for i := range a.Objects {
+		if a.Objects[i].Class != b.Objects[i].Class ||
+			len(a.Objects[i].Segments) != len(b.Objects[i].Segments) {
+			t.Fatalf("object %d differs across runs", i)
+		}
+	}
+	c, err := Generate(p, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Objects {
+		if len(a.Objects[i].Segments) != len(c.Objects[i].Segments) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// With a different seed the segment structure should differ for
+		// at least one of 173 objects.
+		diff := false
+		for i := range a.Objects {
+			if a.Objects[i].Segments[0] != c.Objects[i].Segments[0] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical scenes")
+		}
+	}
+}
+
+func TestGenerateValidatesProfile(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", Frames: 0, Objects: 1, FramesPerObj: 1},
+		{Name: "x", Frames: 10, Objects: 0, FramesPerObj: 1},
+		{Name: "x", Frames: 10, Objects: 1, FramesPerObj: 0},
+		{Name: "x", Frames: 10, Objects: 1, FramesPerObj: 100},
+		{Name: "x", Frames: 10, Objects: 1, FramesPerObj: 5, OccPerObj: -1},
+		{Name: "x", Frames: 10, Objects: 1, FramesPerObj: 5, ClassMix: map[string]float64{"car": -1}},
+	}
+	for i, p := range bad {
+		if _, err := Generate(p, 1); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSegmentsWithinBounds(t *testing.T) {
+	for _, p := range StandardProfiles() {
+		sc, err := Generate(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range sc.Objects {
+			prevTo := vr.FrameID(-1)
+			for _, s := range o.Segments {
+				if s.From < 0 || s.To > vr.FrameID(p.Frames) || s.From >= s.To {
+					t.Fatalf("%s object %d: bad segment %+v", p.Name, o.ID, s)
+				}
+				if s.From <= prevTo {
+					t.Fatalf("%s object %d: overlapping segments", p.Name, o.ID)
+				}
+				prevTo = s.To
+			}
+			if o.Frames() == 0 {
+				t.Fatalf("%s object %d never visible", p.Name, o.ID)
+			}
+		}
+	}
+}
+
+// TestRenderedStatsMatchProfiles checks that rendered traces land near the
+// Table 6 statistics the profiles encode. Sampling noise across a few
+// hundred objects allows a generous tolerance; the point is the *shape*:
+// dataset orderings of density and churn must be preserved.
+func TestRenderedStatsMatchProfiles(t *testing.T) {
+	reg := vr.StandardRegistry()
+	stats := map[string]vr.Stats{}
+	for _, p := range StandardProfiles() {
+		sc, err := Generate(p, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := sc.Render(reg)
+		st := vr.ComputeStats(tr)
+		stats[p.Name] = st
+		if st.Frames != p.Frames {
+			t.Errorf("%s: frames = %d, want %d", p.Name, st.Frames, p.Frames)
+		}
+		if st.Objects != p.Objects {
+			t.Errorf("%s: objects = %d, want %d", p.Name, st.Objects, p.Objects)
+		}
+		if rel := math.Abs(st.FramesPerObj-p.FramesPerObj) / p.FramesPerObj; rel > 0.35 {
+			t.Errorf("%s: frames/obj = %.2f, profile %.2f (rel err %.2f)",
+				p.Name, st.FramesPerObj, p.FramesPerObj, rel)
+		}
+	}
+	// Orderings that drive the paper's trade-offs: M2 is the densest
+	// dataset, V2 among the sparsest; M1 has the shortest object
+	// lifetimes.
+	if !(stats["M2"].ObjPerFrame > stats["V2"].ObjPerFrame) {
+		t.Errorf("density ordering lost: M2 %.2f ≤ V2 %.2f",
+			stats["M2"].ObjPerFrame, stats["V2"].ObjPerFrame)
+	}
+	for _, name := range []string{"V1", "V2", "D1", "D2", "M2"} {
+		if stats["M1"].FramesPerObj > stats[name].FramesPerObj {
+			t.Errorf("M1 frames/obj %.2f should be the smallest (vs %s %.2f)",
+				stats["M1"].FramesPerObj, name, stats[name].FramesPerObj)
+		}
+	}
+}
+
+func TestClassMixRespected(t *testing.T) {
+	p := M1() // 88% person
+	sc, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, o := range sc.Objects {
+		counts[o.Class]++
+	}
+	if frac := float64(counts["person"]) / float64(len(sc.Objects)); frac < 0.75 {
+		t.Errorf("person fraction = %.2f, want ≈ 0.88", frac)
+	}
+	if counts["car"] == 0 {
+		t.Error("no cars generated despite 8% weight")
+	}
+}
+
+func TestEmptyClassMixDefaults(t *testing.T) {
+	p := Profile{Name: "plain", Frames: 50, Objects: 5, FramesPerObj: 10}
+	sc, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sc.Objects {
+		if o.Class != "object" {
+			t.Fatalf("class = %q", o.Class)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"V1", "V2", "D1", "D2", "M1", "M2"} {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != name {
+			t.Errorf("ProfileByName(%s) = %+v, %v", name, p, ok)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile found")
+	}
+}
+
+func TestReuseIDsReducesUniqueObjects(t *testing.T) {
+	reg := vr.StandardRegistry()
+	sc, err := Generate(D1(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sc.Render(reg)
+	base := vr.ComputeStats(tr)
+
+	prevObjects := base.Objects
+	for po := 1; po <= 3; po++ {
+		got := ReuseIDs(tr, po, 99)
+		st := vr.ComputeStats(got)
+		if st.Objects >= prevObjects {
+			t.Errorf("po=%d: unique objects %d, want < %d", po, st.Objects, prevObjects)
+		}
+		if st.OccPerObj <= base.OccPerObj {
+			t.Errorf("po=%d: occ/obj %.2f, want > baseline %.2f", po, st.OccPerObj, base.OccPerObj)
+		}
+		// Total appearances are preserved: ids are renamed, not dropped.
+		if gotApp, wantApp := st.ObjPerFrame*float64(st.Frames), base.ObjPerFrame*float64(base.Frames); math.Abs(gotApp-wantApp) > 1e-6 {
+			// ID reuse can merge two objects present in the same frame
+			// into one set member; allow a small deficit but no growth.
+			if gotApp > wantApp {
+				t.Errorf("po=%d: appearances grew: %f > %f", po, gotApp, wantApp)
+			}
+		}
+		prevObjects = st.Objects
+	}
+}
+
+func TestReuseIDsZeroIsIdentity(t *testing.T) {
+	reg := vr.StandardRegistry()
+	sc, _ := Generate(V1(), 5)
+	tr := sc.Render(reg)
+	if got := ReuseIDs(tr, 0, 1); got != tr {
+		t.Error("po=0 should return the trace unchanged")
+	}
+}
+
+func TestReuseIDsKeepsClassesConsistent(t *testing.T) {
+	reg := vr.StandardRegistry()
+	sc, _ := Generate(M2(), 8)
+	tr := ReuseIDs(sc.Render(reg), 3, 4)
+	// NewTrace enforces class consistency; rebuild from tuples to check.
+	if _, err := vr.NewTrace(tr.Tuples()); err != nil {
+		t.Fatalf("id reuse broke class consistency: %v", err)
+	}
+}
+
+func TestSplitPositive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		total := 1 + r.Intn(50)
+		n := 1 + r.Intn(8)
+		parts := splitPositive(r, total, n)
+		sum := 0
+		for _, p := range parts {
+			if p <= 0 {
+				t.Fatalf("non-positive part in %v (total=%d n=%d)", parts, total, n)
+			}
+			sum += p
+		}
+		if sum != total {
+			t.Fatalf("parts %v sum to %d, want %d", parts, sum, total)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const lambda = 3.5
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += poisson(r, lambda)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-lambda) > 0.15 {
+		t.Errorf("poisson mean = %.3f, want ≈ %.1f", mean, lambda)
+	}
+	if poisson(r, 0) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+}

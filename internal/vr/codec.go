@@ -1,0 +1,165 @@
+package vr
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"tvq/internal/objset"
+)
+
+// Trace file formats. The CSV codec writes a header row followed by one
+// row per tuple with the class *name* resolved through a Registry, so
+// files are self-describing and diffable. The JSONL codec writes one
+// frame per line, which is the natural unit for streaming consumers.
+
+// WriteCSV encodes the trace as CSV with header "fid,id,class".
+func WriteCSV(w io.Writer, t *Trace, reg *Registry) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"fid", "id", "class"}); err != nil {
+		return fmt.Errorf("vr: write csv header: %w", err)
+	}
+	for _, tup := range t.Tuples() {
+		name := reg.Name(tup.Class)
+		if name == "" {
+			return fmt.Errorf("vr: class %d not in registry", tup.Class)
+		}
+		rec := []string{
+			strconv.FormatInt(tup.FID, 10),
+			strconv.FormatUint(uint64(tup.ID), 10),
+			name,
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("vr: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV. Unknown class names are
+// registered in reg as they are encountered.
+func ReadCSV(r io.Reader, reg *Registry) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("vr: read csv header: %w", err)
+	}
+	if header[0] != "fid" || header[1] != "id" || header[2] != "class" {
+		return nil, fmt.Errorf("vr: unexpected csv header %v", header)
+	}
+	var tuples []Tuple
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vr: read csv row: %w", err)
+		}
+		fid, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vr: bad fid %q: %w", rec[0], err)
+		}
+		id, err := strconv.ParseUint(rec[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("vr: bad id %q: %w", rec[1], err)
+		}
+		tuples = append(tuples, Tuple{
+			FID:   fid,
+			ID:    uint32(id),
+			Class: reg.Class(rec[2]),
+		})
+	}
+	return NewTrace(tuples)
+}
+
+// jsonFrame is the JSONL wire format: one frame per line.
+type jsonFrame struct {
+	FID     int64             `json:"fid"`
+	Objects []jsonObject      `json:"objects"`
+	Extra   map[string]string `json:"extra,omitempty"`
+}
+
+type jsonObject struct {
+	ID    uint32 `json:"id"`
+	Class string `json:"class"`
+}
+
+// WriteJSONL encodes the trace as one JSON object per frame.
+func WriteJSONL(w io.Writer, t *Trace, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range t.Frames() {
+		jf := jsonFrame{FID: f.FID}
+		for _, id := range f.Objects.IDs() {
+			name := reg.Name(t.ClassOf(id))
+			if name == "" {
+				return fmt.Errorf("vr: class %d not in registry", t.ClassOf(id))
+			}
+			jf.Objects = append(jf.Objects, jsonObject{ID: id, Class: name})
+		}
+		if err := enc.Encode(jf); err != nil {
+			return fmt.Errorf("vr: encode frame %d: %w", f.FID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader, reg *Registry) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	var tuples []Tuple
+	for {
+		var jf jsonFrame
+		if err := dec.Decode(&jf); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("vr: decode frame: %w", err)
+		}
+		if len(jf.Objects) == 0 {
+			// Preserve empty frames by emitting a sentinel tuple-free
+			// frame: NewTrace densifies up to the max fid, so an empty
+			// trailing frame needs representation. We emit a tuple with
+			// fid but roll it back below — simpler: track max fid.
+			tuples = append(tuples, Tuple{FID: jf.FID, ID: emptyFrameSentinel, Class: 0})
+			continue
+		}
+		for _, o := range jf.Objects {
+			if o.ID == emptyFrameSentinel {
+				return nil, fmt.Errorf("vr: frame %d uses reserved object id %d", jf.FID, emptyFrameSentinel)
+			}
+			tuples = append(tuples, Tuple{FID: jf.FID, ID: o.ID, Class: reg.Class(o.Class)})
+		}
+	}
+	t, err := NewTrace(tuples)
+	if err != nil {
+		return nil, err
+	}
+	return stripSentinel(t), nil
+}
+
+// emptyFrameSentinel marks frames that contain no detections so that the
+// densifying constructor still materializes them. The id is the maximum
+// uint32, which real traces never assign.
+const emptyFrameSentinel = ^uint32(0)
+
+func stripSentinel(t *Trace) *Trace {
+	classes := t.Classes()
+	if _, ok := classes[emptyFrameSentinel]; !ok {
+		return t
+	}
+	delete(classes, emptyFrameSentinel)
+	sentinel := objset.New(emptyFrameSentinel)
+	frames := t.Frames()
+	for i, f := range frames {
+		if f.Objects.Contains(emptyFrameSentinel) {
+			frames[i].Objects = f.Objects.Minus(sentinel)
+		}
+	}
+	return t
+}

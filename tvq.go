@@ -1,0 +1,195 @@
+// Package tvq evaluates temporal co-occurrence queries over video feeds,
+// implementing the system of "Evaluating Temporal Queries Over Video
+// Feeds" (Chen, Yu, Koudas; 2020/2021).
+//
+// A video feed is reduced, by an object detection and tracking stage, to
+// a structured relation VR(fid, id, class): object id of class class was
+// detected in frame fid. Over that relation, tvq answers sliding-window
+// CNF queries about the joint presence of objects, such as
+//
+//	car >= 1 AND person >= 2        (window 600 frames, duration 450)
+//
+// — "report every maximal set of tracked objects containing at least one
+// car and two people that appear jointly in at least 450 of the last 600
+// frames". The engine maintains, incrementally, every maximum
+// co-occurrence object set (MCOS) of the window using one of three
+// strategies from the paper (the NAIVE baseline, Marked Frame Sets, or
+// the Strict State Graph), evaluates the CNF conditions with an
+// inverted-index evaluator, and optionally feeds evaluation results back
+// into state maintenance (the ≥-only pruning strategy).
+//
+// # Quick start
+//
+//	queries := []tvq.Query{tvq.MustQuery(1, "car >= 1 AND person >= 2", 600, 450)}
+//	eng, err := tvq.NewEngine(queries, tvq.Options{})
+//	...
+//	for _, frame := range trace.Frames() {
+//	    for _, m := range eng.ProcessFrame(frame) {
+//	        fmt.Println(m.QueryID, m.Objects, m.Frames)
+//	    }
+//	}
+//
+// Traces come from the CSV/JSONL codecs (ReadTraceCSV, ReadTraceJSONL),
+// or from the built-in synthetic video generator (GenerateDataset), which
+// reproduces the statistical shape of the paper's six evaluation videos.
+package tvq
+
+import (
+	"fmt"
+	"io"
+
+	"tvq/internal/cnf"
+	"tvq/internal/engine"
+	"tvq/internal/query"
+	"tvq/internal/track"
+	"tvq/internal/video"
+	"tvq/internal/vr"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Query is a CNF count query with window and duration parameters.
+	Query = cnf.Query
+	// Condition is one `class θ n` atom of a query.
+	Condition = cnf.Condition
+	// Match is one query hit: an MCOS and the frames it appears in.
+	Match = query.Match
+	// Trace is a materialized object stream (the relation VR grouped by
+	// frame).
+	Trace = vr.Trace
+	// Frame is one frame's object set.
+	Frame = vr.Frame
+	// Registry maps class names to compact class values.
+	Registry = vr.Registry
+	// Stats are per-trace dataset statistics (Table 6 of the paper).
+	Stats = vr.Stats
+	// Profile describes a synthetic dataset's statistical shape.
+	Profile = video.Profile
+	// Noise configures the simulated detector/tracker.
+	Noise = track.Noise
+	// Options configures an Engine.
+	Options = engine.Options
+	// Method selects the MCOS maintenance strategy.
+	Method = engine.Method
+	// WindowMode selects sliding or tumbling window semantics.
+	WindowMode = engine.WindowMode
+	// FrameResult pairs a frame with its matches in batch runs.
+	FrameResult = engine.FrameResult
+	// StreamResult is one frame's matches on a streaming run.
+	StreamResult = engine.StreamResult
+)
+
+// MCOS maintenance strategies.
+const (
+	MethodNaive = engine.MethodNaive
+	MethodMFS   = engine.MethodMFS
+	MethodSSG   = engine.MethodSSG
+)
+
+// Window semantics.
+const (
+	Sliding  = engine.Sliding
+	Tumbling = engine.Tumbling
+)
+
+// Engine evaluates a fixed set of temporal queries over a video feed.
+type Engine = engine.Engine
+
+// NewEngine builds an engine for the given queries. See Options for the
+// strategy, registry and pruning knobs; the zero Options selects the SSG
+// strategy with the standard person/car/truck/bus registry.
+func NewEngine(queries []Query, opts Options) (*Engine, error) {
+	return engine.New(queries, opts)
+}
+
+// ParseQuery parses query text such as
+//
+//	car >= 2 AND (person <= 3 OR bus = 1)
+//
+// and attaches the query id, window size and duration threshold
+// (both in frames).
+func ParseQuery(id int, text string, window, duration int) (Query, error) {
+	q, err := cnf.Parse(text)
+	if err != nil {
+		return Query{}, err
+	}
+	q.ID, q.Window, q.Duration = id, window, duration
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustQuery is ParseQuery that panics on error, for fixed literals.
+func MustQuery(id int, text string, window, duration int) Query {
+	q, err := ParseQuery(id, text, window, duration)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// StandardRegistry returns a registry with the classes the paper's
+// experiments detect: person, car, truck, bus.
+func StandardRegistry() *Registry { return vr.StandardRegistry() }
+
+// NewRegistry returns a registry pre-populated with the given classes.
+func NewRegistry(names ...string) *Registry { return vr.NewRegistry(names...) }
+
+// Datasets returns the six dataset profiles of the paper's evaluation
+// (Table 6): V1, V2 (VisualRoad), D1, D2 (Detrac), M1, M2 (MOT16).
+func Datasets() []Profile { return video.StandardProfiles() }
+
+// DatasetByName looks up one of the standard profiles by name.
+func DatasetByName(name string) (Profile, bool) { return video.ProfileByName(name) }
+
+// GenerateDataset synthesizes an object stream with the statistical shape
+// of the profile, runs it through the simulated detector/tracker with the
+// given noise, and returns the extracted trace. Classes are registered in
+// reg. Deterministic in (profile, seed, noise).
+func GenerateDataset(p Profile, seed int64, noise Noise, reg *Registry) (*Trace, error) {
+	sc, err := video.Generate(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return track.Detect(sc, reg, noise)
+}
+
+// InjectOcclusions applies the paper's occlusion parameter po: object
+// identifiers are reused across disjoint object lifetimes (same class) up
+// to po times each, increasing occlusion counts per identifier.
+func InjectOcclusions(t *Trace, po int, seed int64) *Trace {
+	return video.ReuseIDs(t, po, seed)
+}
+
+// ComputeStats derives the Table 6 statistics of a trace.
+func ComputeStats(t *Trace) Stats { return vr.ComputeStats(t) }
+
+// NewTraceFromTuples builds a trace from relation rows (fid, id, class).
+func NewTraceFromTuples(tuples []Tuple) (*Trace, error) { return vr.NewTrace(tuples) }
+
+// Tuple is one row of the structured relation VR(fid, id, class).
+type Tuple = vr.Tuple
+
+// ReadTraceCSV decodes a trace from CSV with header "fid,id,class".
+func ReadTraceCSV(r io.Reader, reg *Registry) (*Trace, error) { return vr.ReadCSV(r, reg) }
+
+// WriteTraceCSV encodes a trace as CSV.
+func WriteTraceCSV(w io.Writer, t *Trace, reg *Registry) error { return vr.WriteCSV(w, t, reg) }
+
+// ReadTraceJSONL decodes a trace from JSON Lines (one frame per line).
+func ReadTraceJSONL(r io.Reader, reg *Registry) (*Trace, error) { return vr.ReadJSONL(r, reg) }
+
+// WriteTraceJSONL encodes a trace as JSON Lines.
+func WriteTraceJSONL(w io.Writer, t *Trace, reg *Registry) error { return vr.WriteJSONL(w, t, reg) }
+
+// FormatMatch renders a match in a human-readable single line.
+func FormatMatch(m Match) string {
+	frames := m.Frames
+	if len(frames) == 0 {
+		return fmt.Sprintf("q%d: %v (no frames)", m.QueryID, m.Objects)
+	}
+	return fmt.Sprintf("q%d: objects %v in %d frames [%d..%d]",
+		m.QueryID, m.Objects, len(frames), frames[0], frames[len(frames)-1])
+}

@@ -1,0 +1,120 @@
+package tvq_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tvq"
+)
+
+func TestParseQuery(t *testing.T) {
+	q, err := tvq.ParseQuery(1, "car >= 2 AND person <= 3", 300, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != 1 || q.Window != 300 || q.Duration != 240 {
+		t.Fatalf("query = %+v", q)
+	}
+	if _, err := tvq.ParseQuery(1, "car >=", 300, 240); err == nil {
+		t.Error("bad text accepted")
+	}
+	if _, err := tvq.ParseQuery(1, "car >= 2", 300, 400); err == nil {
+		t.Error("duration > window accepted")
+	}
+}
+
+func TestMustQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustQuery did not panic")
+		}
+	}()
+	tvq.MustQuery(1, "nonsense query ..", 10, 5)
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	reg := tvq.StandardRegistry()
+	p, ok := tvq.DatasetByName("M1")
+	if !ok {
+		t.Fatal("M1 missing")
+	}
+	p.Frames = 200
+	p.Objects = 40
+	trace, err := tvq.GenerateDataset(p, 42, tvq.Noise{MissProb: 0.05, Seed: 42}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []tvq.Query{
+		tvq.MustQuery(1, "person >= 1", 30, 15),
+		tvq.MustQuery(2, "person >= 2 AND car >= 1", 30, 10),
+	}
+	eng, err := tvq.NewEngine(queries, tvq.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range trace.Frames() {
+		total += len(eng.ProcessFrame(f))
+	}
+	if total == 0 {
+		t.Fatal("pipeline produced no matches on a pedestrian-heavy dataset")
+	}
+}
+
+func TestTraceRoundTripThroughFacade(t *testing.T) {
+	reg := tvq.StandardRegistry()
+	p, _ := tvq.DatasetByName("V1")
+	p.Frames = 120
+	p.Objects = 10
+	p.FramesPerObj = 40
+	trace, err := tvq.GenerateDataset(p, 3, tvq.Noise{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tvq.WriteTraceCSV(&buf, trace, reg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := tvq.ReadTraceCSV(&buf, tvq.StandardRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tvq.ComputeStats(trace), tvq.ComputeStats(back)
+	if a.Objects != b.Objects || a.ObjPerFrame != b.ObjPerFrame {
+		t.Fatalf("round trip changed stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestInjectOcclusions(t *testing.T) {
+	reg := tvq.StandardRegistry()
+	p, _ := tvq.DatasetByName("D1")
+	p.Frames = 300
+	p.Objects = 60
+	trace, err := tvq.GenerateDataset(p, 5, tvq.Noise{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tvq.ComputeStats(trace)
+	after := tvq.ComputeStats(tvq.InjectOcclusions(trace, 2, 9))
+	if after.Objects >= before.Objects {
+		t.Errorf("po=2 did not reduce unique objects: %d vs %d", after.Objects, before.Objects)
+	}
+}
+
+func TestFormatMatch(t *testing.T) {
+	m := tvq.Match{QueryID: 3}
+	if got := tvq.FormatMatch(m); !strings.Contains(got, "q3") {
+		t.Errorf("FormatMatch = %q", got)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	ds := tvq.Datasets()
+	if len(ds) != 6 {
+		t.Fatalf("datasets = %d", len(ds))
+	}
+	if ds[0].Name != "V1" || ds[5].Name != "M2" {
+		t.Errorf("order = %v, %v", ds[0].Name, ds[5].Name)
+	}
+}
