@@ -6,18 +6,28 @@
 //	tvq -q "car >= 1 AND person >= 2" -w 300 -d 240 trace.csv
 //	tvq -q "car >= 2" -q "bus >= 1" -w 150 -d 100 -method mfs trace.jsonl
 //	tvqgen -dataset M2 | tvq -q "person >= 3" -w 300 -d 240 -
+//	tvq -q "person >= 2 @ 600:450" -q "car >= 1" -w 300 -d 240 -workers 2 trace.csv
 //
-// Each -q flag adds one query; all queries share the -w/-d parameters
-// (use the library directly for mixed windows). The trace format is
-// inferred from the file extension; stdin defaults to CSV unless
-// -format jsonl is given.
+// Each -q flag adds one query. A query uses the shared -w/-d parameters
+// unless it carries its own "@ window:duration" suffix, as in
+// "person >= 2 @ 600:450". The trace format is inferred from the file
+// extension; stdin defaults to CSV unless -format jsonl is given.
+//
+// With -workers above 1 the trace is evaluated by a parallel pool that
+// partitions the queries' window groups across engines; matches and
+// their order are identical to the single-engine run. Parallelism is
+// bounded by the number of distinct window sizes, so give queries
+// different @-windows to use more than one worker; the pool warns when
+// it clamps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"tvq"
@@ -37,17 +47,18 @@ func main() {
 		prune    = flag.Bool("prune", false, "enable result-driven pruning (>=-only query sets)")
 		format   = flag.String("format", "", "trace format: csv or jsonl (default: from extension)")
 		quiet    = flag.Bool("quiet", false, "print only the match count")
+		workers  = flag.Int("workers", 1, "engine shards; above 1 runs a parallel pool over the window groups")
 	)
-	flag.Var(&queries, "q", "query text (repeatable), e.g. \"car >= 1 AND person >= 2\"")
+	flag.Var(&queries, "q", "query text (repeatable), e.g. \"car >= 1 AND person >= 2\"; append \"@ w:d\" for a per-query window")
 	flag.Parse()
 
-	if err := run(queries, *window, *duration, *method, *prune, *format, *quiet, flag.Arg(0)); err != nil {
+	if err := run(queries, *window, *duration, *method, *prune, *format, *quiet, *workers, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "tvq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(texts []string, window, duration int, method string, prune bool, format string, quiet bool, path string) error {
+func run(texts []string, window, duration int, method string, prune bool, format string, quiet bool, workers int, path string) error {
 	if len(texts) == 0 {
 		return fmt.Errorf("no queries; pass at least one -q")
 	}
@@ -57,7 +68,11 @@ func run(texts []string, window, duration int, method string, prune bool, format
 
 	var qs []tvq.Query
 	for i, text := range texts {
-		q, err := tvq.ParseQuery(i+1, text, window, duration)
+		text, w, d, err := splitWindowSuffix(text, window, duration)
+		if err != nil {
+			return err
+		}
+		q, err := tvq.ParseQuery(i+1, text, w, d)
 		if err != nil {
 			return err
 		}
@@ -101,25 +116,90 @@ func run(texts []string, window, duration int, method string, prune bool, format
 		return err
 	}
 
-	eng, err := tvq.NewEngine(qs, tvq.Options{
+	opts := tvq.Options{
 		Method:   tvq.Method(method),
 		Prune:    prune,
 		Registry: reg,
-	})
-	if err != nil {
-		return err
 	}
 
 	total := 0
-	for _, f := range trace.Frames() {
-		for _, m := range eng.ProcessFrame(f) {
+	report := func(fid int64, ms []tvq.Match) {
+		for _, m := range ms {
 			total++
 			if !quiet {
-				fmt.Printf("frame %d: %s\n", f.FID, tvq.FormatMatch(m))
+				fmt.Printf("frame %d: %s\n", fid, tvq.FormatMatch(m))
 			}
 		}
 	}
-	fmt.Printf("%d matches over %d frames (%d queries, w=%d, d=%d, method=%s)\n",
-		total, trace.Len(), len(qs), window, duration, method)
+
+	if workers > 1 {
+		pool, err := tvq.NewPool(qs, tvq.PoolOptions{
+			Workers: workers,
+			Mode:    tvq.ShardByGroup,
+			Engine:  opts,
+		})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		if pool.Workers() < workers {
+			fmt.Fprintf(os.Stderr,
+				"tvq: note: %d workers requested but only %d usable; parallelism is bounded by distinct window sizes — give queries different \"@ w:d\" windows to shard wider\n",
+				workers, pool.Workers())
+		}
+		in := make(chan tvq.FeedFrame, 64)
+		go func() {
+			defer close(in)
+			for _, f := range trace.Frames() {
+				in <- tvq.FeedFrame{Frame: f}
+			}
+		}()
+		for r := range pool.Stream(context.Background(), in) {
+			report(r.FID, r.Matches)
+		}
+	} else {
+		eng, err := tvq.NewEngine(qs, opts)
+		if err != nil {
+			return err
+		}
+		for _, f := range trace.Frames() {
+			report(f.FID, eng.ProcessFrame(f))
+		}
+	}
+	shared := true
+	for _, q := range qs {
+		if q.Window != window || q.Duration != duration {
+			shared = false
+			break
+		}
+	}
+	params := fmt.Sprintf("w=%d, d=%d", window, duration)
+	if !shared {
+		params = "per-query windows"
+	}
+	fmt.Printf("%d matches over %d frames (%d queries, %s, method=%s)\n",
+		total, trace.Len(), len(qs), params, method)
 	return nil
+}
+
+// splitWindowSuffix strips an optional "@ w:d" suffix from a -q
+// argument, returning the bare query text and its effective window and
+// duration (the shared defaults when no suffix is present).
+func splitWindowSuffix(text string, defWindow, defDuration int) (string, int, int, error) {
+	at := strings.LastIndex(text, "@")
+	if at < 0 {
+		return text, defWindow, defDuration, nil
+	}
+	suffix := strings.TrimSpace(text[at+1:])
+	ws, ds, ok := strings.Cut(suffix, ":")
+	var w, d int
+	var werr, derr error
+	if ok {
+		w, werr = strconv.Atoi(strings.TrimSpace(ws))
+		d, derr = strconv.Atoi(strings.TrimSpace(ds))
+	}
+	if !ok || werr != nil || derr != nil {
+		return "", 0, 0, fmt.Errorf("bad window suffix %q (want \"@ window:duration\", e.g. \"@ 600:450\")", suffix)
+	}
+	return strings.TrimSpace(text[:at]), w, d, nil
 }

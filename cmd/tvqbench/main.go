@@ -7,10 +7,21 @@
 //	tvqbench -exp fig4                 # all six datasets, full scale
 //	tvqbench -exp fig9 -datasets D1,M1 # subset of panels
 //	tvqbench -exp all -scale 4         # quick pass at quarter scale
+//	tvqbench -exp parallel -workers 8  # multi-feed pool scaling
+//	tvqbench -json . -scale 4          # write BENCH_<dataset>.json files
 //
-// Experiments: table6, fig4, fig5, fig6, fig7, fig8, fig9, fig10, all.
-// Output is aligned text: one table per subfigure, one row per x value,
-// one column per method, times in seconds.
+// Experiments: table6, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
+// parallel, all. Output is aligned text: one table per subfigure, one
+// row per x value, one column per method, times in seconds. The
+// parallel experiment compares the serial single-engine baseline with
+// the multi-feed Pool at worker counts 1, 2, 4, ... up to -workers.
+//
+// With -json DIR the text experiments are replaced (combining -json
+// with -exp, -workers or -feeds is an error): each selected dataset is
+// measured once per method on the standard multi-query workload and the
+// results are written to DIR/BENCH_<dataset>.json as machine-readable
+// records (method, window, frames/sec, allocs), so the performance
+// trajectory can be tracked across commits.
 package main
 
 import (
@@ -24,10 +35,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table6, fig4..fig10, or all")
+		exp      = flag.String("exp", "all", "experiment: table6, fig4..fig10, parallel, or all")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the paper's choice per figure)")
 		seed     = flag.Int64("seed", 1, "dataset generation seed")
 		scale    = flag.Int("scale", 1, "divide frame counts, window and duration by this factor for quick runs")
+		workers  = flag.Int("workers", 4, "maximum pool worker count for the parallel experiment")
+		feeds    = flag.Int("feeds", 4, "number of synthetic feeds for the parallel experiment")
+		jsonDir  = flag.String("json", "", "write machine-readable BENCH_<dataset>.json files to this directory instead of running text experiments")
 	)
 	flag.Parse()
 
@@ -36,13 +50,52 @@ func main() {
 	if *datasets != "" {
 		subset = strings.Split(*datasets, ",")
 	}
-	if err := run(cfg, *exp, subset); err != nil {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var err error
+	if *jsonDir != "" {
+		// The JSON pass replaces the text experiments; reject flags that
+		// would otherwise be silently ignored.
+		if explicit["exp"] || explicit["workers"] || explicit["feeds"] {
+			err = fmt.Errorf("-json replaces the text experiments; it cannot be combined with -exp, -workers or -feeds")
+		} else {
+			err = runJSON(cfg, *jsonDir, subset)
+		}
+	} else {
+		err = run(cfg, *exp, subset, *workers, *feeds)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvqbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg bench.Config, exp string, subset []string) error {
+// runJSON is the perf-tracking pass: one BENCH_<dataset>.json per
+// dataset, 30 mixed queries per run.
+func runJSON(cfg bench.Config, dir string, subset []string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := subset
+	if names == nil {
+		names = bench.DatasetNames()
+	}
+	for _, name := range names {
+		entries, err := cfg.MeasurePerf(name, 30)
+		if err != nil {
+			return err
+		}
+		path, err := bench.WritePerfJSON(dir, name, entries)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func run(cfg bench.Config, exp string, subset []string, workers, feeds int) error {
 	all := subset
 	if all == nil {
 		all = bench.DatasetNames()
@@ -57,7 +110,7 @@ func run(cfg bench.Config, exp string, subset []string) error {
 		"fig10": func() (bench.Figure, error) { return cfg.Figure10() },
 	}
 
-	order := []string{"table6", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	order := []string{"table6", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "parallel"}
 	selected := []string{exp}
 	if exp == "all" {
 		selected = order
@@ -65,6 +118,17 @@ func run(cfg bench.Config, exp string, subset []string) error {
 
 	for _, name := range selected {
 		switch {
+		case name == "parallel":
+			for _, ds := range orDefault(subset, []string{"M2"}) {
+				rep, err := cfg.ParallelScaling(ds, feeds, 30, workers)
+				if err != nil {
+					return err
+				}
+				if err := rep.Render(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
 		case name == "table6":
 			rows, err := cfg.Table6()
 			if err != nil {

@@ -1,0 +1,3 @@
+module tvq
+
+go 1.22

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"tvq/internal/engine"
+)
+
+// PerfEntry is one machine-readable benchmark record, written by
+// cmd/tvqbench so the performance trajectory can be tracked across PRs
+// without parsing text tables.
+type PerfEntry struct {
+	Dataset      string  `json:"dataset"`
+	Method       string  `json:"method"`
+	Window       int     `json:"window"`
+	Duration     int     `json:"duration"`
+	Queries      int     `json:"queries"`
+	Frames       int     `json:"frames"`
+	Seconds      float64 `json:"seconds"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocsPerFr  float64 `json:"allocs_per_frame"`
+}
+
+// MeasurePerf runs the standard multi-query workload on one dataset once
+// per MCOS method and records wall time and allocation counts. Alloc
+// counts come from runtime.MemStats mallocs deltas, so they are close
+// but not cycle-exact when GC runs concurrently.
+func (c Config) MeasurePerf(name string, queries int) ([]PerfEntry, error) {
+	ds, err := c.LoadDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	window, duration := c.scale(DefaultWindow), c.scale(DefaultDuration)
+	qs := MixedWorkload(queries, window, duration, c.Seed)
+
+	var entries []PerfEntry
+	for _, m := range MCOSMethods {
+		eng, err := engine.New(qs, engine.Options{
+			Method:   engine.Method(strings.ToLower(m)),
+			Registry: cloneRegistry(ds.Reg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for _, f := range ds.Trace.Frames() {
+			eng.ProcessFrame(f)
+		}
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		frames := ds.Trace.Len()
+		allocs := after.Mallocs - before.Mallocs
+		entries = append(entries, PerfEntry{
+			Dataset: name, Method: m, Window: window, Duration: duration,
+			Queries: queries, Frames: frames, Seconds: secs,
+			FramesPerSec: float64(frames) / secs,
+			Allocs:       allocs,
+			AllocsPerFr:  float64(allocs) / float64(frames),
+		})
+	}
+	return entries, nil
+}
+
+// PerfFileName is the per-dataset output name, BENCH_<dataset>.json.
+func PerfFileName(dataset string) string { return fmt.Sprintf("BENCH_%s.json", dataset) }
+
+// WritePerfJSON writes one dataset's entries to dir/BENCH_<dataset>.json
+// and returns the path.
+func WritePerfJSON(dir, dataset string, entries []PerfEntry) (string, error) {
+	path := filepath.Join(dir, PerfFileName(dataset))
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestMeasurePerf(t *testing.T) {
+	entries, err := quick().MeasurePerf("D1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(MCOSMethods) {
+		t.Fatalf("got %d entries, want %d", len(entries), len(MCOSMethods))
+	}
+	for _, e := range entries {
+		if e.Dataset != "D1" || e.Frames <= 0 || e.Seconds <= 0 || e.FramesPerSec <= 0 {
+			t.Errorf("implausible entry: %+v", e)
+		}
+	}
+	if _, err := quick().MeasurePerf("nope", 5); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestWritePerfJSON(t *testing.T) {
+	entries, err := quick().MeasurePerf("M1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WritePerfJSON(dir, "M1", entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []PerfEntry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(back) != len(entries) || back[0].Method != entries[0].Method {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}

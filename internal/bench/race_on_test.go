@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build;
+// throughput assertions skip under it, since its serialization erases
+// parallel speedup.
+const raceEnabled = true

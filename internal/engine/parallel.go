@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tvq/internal/cnf"
+	"tvq/internal/query"
+	"tvq/internal/vr"
+)
+
+// FeedID identifies one video feed (one camera) in a multi-feed pool.
+// Frame ids are per-feed: every feed numbers its frames consecutively
+// from 0, independently of the other feeds.
+type FeedID int
+
+// FeedFrame is one frame of one feed, the unit of ingestion for a Pool.
+type FeedFrame struct {
+	Feed  FeedID
+	Frame vr.Frame
+}
+
+// FeedResult couples one processed frame with its matches. Pools deliver
+// results in ingestion order (the order frames were passed to
+// ProcessBatch or arrived on the stream channel).
+type FeedResult struct {
+	Feed    FeedID
+	FID     vr.FrameID
+	Matches []query.Match
+}
+
+// ShardMode selects how a Pool distributes work across its engines.
+type ShardMode int
+
+const (
+	// ShardByFeed pins each feed to one worker (feed id modulo worker
+	// count); every worker owns one full engine per feed it serves. This
+	// is the multi-camera mode: feeds progress independently and in
+	// parallel, and each feed sees exactly the matches a dedicated
+	// single engine would produce.
+	ShardByFeed ShardMode = iota
+	// ShardByGroup partitions the window groups of a single feed across
+	// workers: every worker evaluates a contiguous (by window size)
+	// subset of the queries over every frame. Use it when one feed
+	// carries many queries with several distinct window sizes. Input
+	// must be a single feed with consecutive frame ids.
+	ShardByGroup
+)
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Workers is the number of worker goroutines (and engine shards);
+	// default runtime.GOMAXPROCS(0).
+	Workers int
+	// Mode selects feed sharding (default, multi-camera) or window-group
+	// sharding (single feed, many queries).
+	Mode ShardMode
+	// Batch is the maximum number of frames Stream gathers before
+	// dispatching to the workers, amortizing channel overhead; default
+	// 64. ProcessBatch dispatches whatever it is given.
+	Batch int
+	// Engine configures every engine the pool creates.
+	Engine Options
+}
+
+// DefaultBatch is the stream batch size when PoolOptions.Batch is zero.
+const DefaultBatch = 64
+
+// Pool runs N independent engines in parallel over a multi-feed frame
+// stream. The engines stay single-writer (each is owned by exactly one
+// worker goroutine); the pool shards frames across them and merges
+// per-shard results back into ingestion order. A Pool is itself
+// single-caller: do not invoke ProcessBatch or Stream concurrently.
+type Pool struct {
+	opts    PoolOptions
+	queries []cnf.Query
+	workers []*poolWorker
+	wg      sync.WaitGroup
+	streams sync.WaitGroup
+	done    chan struct{}
+	closed  bool
+}
+
+// poolWorker owns the engines of one shard. Only its goroutine touches
+// them, preserving the engine's single-writer contract.
+type poolWorker struct {
+	pool  *poolWorkerShared
+	in    chan *poolJob
+	eng   *Engine            // ShardByGroup: this shard's query subset
+	feeds map[FeedID]*Engine // ShardByFeed: one engine per feed served
+}
+
+// poolWorkerShared is the worker-visible slice of the pool.
+type poolWorkerShared struct {
+	mode    ShardMode
+	queries []cnf.Query
+	engOpts Options
+}
+
+// poolJob is one dispatched batch slice. Workers write each frame's
+// matches into out — at idx[k] when idx is set (ShardByFeed, shared
+// slice, disjoint indices) or at k (ShardByGroup, per-worker column) —
+// then signal done. The WaitGroup gives the dispatcher the
+// happens-before edge it needs to read out.
+type poolJob struct {
+	frames []FeedFrame
+	idx    []int
+	out    [][]query.Match
+	done   *sync.WaitGroup
+}
+
+// NewPool builds a pool of engines over the given queries. In
+// ShardByGroup mode the queries are partitioned by window size across at
+// most Workers engines; in ShardByFeed mode every feed gets a full
+// engine over all queries, created on the feed's first frame.
+func NewPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = DefaultBatch
+	}
+	if opts.Mode != ShardByFeed && opts.Mode != ShardByGroup {
+		return nil, fmt.Errorf("engine: unknown shard mode %d", opts.Mode)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("engine: no queries")
+	}
+	if opts.Mode == ShardByFeed {
+		// Validate queries and options up front so lazy per-feed engine
+		// construction inside workers cannot fail. ShardByGroup skips
+		// this: its eager per-shard New calls below cover validation.
+		if _, err := New(queries, opts.Engine); err != nil {
+			return nil, err
+		}
+	}
+
+	p := &Pool{opts: opts, queries: queries, done: make(chan struct{})}
+	shared := &poolWorkerShared{mode: opts.Mode, queries: queries, engOpts: opts.Engine}
+
+	var parts [][]cnf.Query
+	if opts.Mode == ShardByGroup {
+		parts = partitionByWindow(queries, opts.Workers)
+		if len(parts) < opts.Workers {
+			opts.Workers = len(parts) // fewer window groups than workers
+			p.opts.Workers = opts.Workers
+		}
+	}
+	// Construct every shard before spawning any goroutine, so an engine
+	// error for a later shard cannot strand earlier workers blocked on
+	// their job channels.
+	for i := 0; i < opts.Workers; i++ {
+		w := &poolWorker{pool: shared, in: make(chan *poolJob, 1)}
+		if opts.Mode == ShardByGroup {
+			eng, err := New(parts[i], opts.Engine)
+			if err != nil {
+				return nil, err
+			}
+			w.eng = eng
+		} else {
+			w.feeds = make(map[FeedID]*Engine)
+		}
+		p.workers = append(p.workers, w)
+	}
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			w.run()
+		}()
+	}
+	return p, nil
+}
+
+// partitionByWindow groups queries by window size, orders the groups by
+// ascending window, and splits them into at most n contiguous shards
+// balanced by query count. Contiguity in window order is what makes the
+// concatenation of per-shard matches identical to a single engine's
+// output, which iterates its groups in ascending window order.
+func partitionByWindow(queries []cnf.Query, n int) [][]cnf.Query {
+	byWindow := make(map[int][]cnf.Query)
+	for _, q := range queries {
+		byWindow[q.Window] = append(byWindow[q.Window], q)
+	}
+	windows := make([]int, 0, len(byWindow))
+	for w := range byWindow {
+		windows = append(windows, w)
+	}
+	sort.Ints(windows)
+	if n > len(windows) {
+		n = len(windows)
+	}
+
+	var parts [][]cnf.Query
+	var cur []cnf.Query
+	remaining := len(queries)
+	for i, w := range windows {
+		cur = append(cur, byWindow[w]...)
+		remaining -= len(byWindow[w])
+		shardsLeft := n - len(parts)
+		groupsLeft := len(windows) - i - 1
+		// Close the shard once it carries its fair share of the remaining
+		// queries, but never leave more shards open than groups remain.
+		if shardsLeft > 1 && (len(cur)*(shardsLeft-1) >= remaining || groupsLeft < shardsLeft) {
+			parts = append(parts, cur)
+			cur = nil
+		}
+	}
+	if len(cur) > 0 {
+		parts = append(parts, cur)
+	}
+	return parts
+}
+
+// run is the worker loop: process dispatched frames with this shard's
+// engines and record matches into the job's result slots.
+func (w *poolWorker) run() {
+	for job := range w.in {
+		for k, ff := range job.frames {
+			eng := w.eng
+			if w.pool.mode == ShardByFeed {
+				eng = w.engineFor(ff.Feed)
+			}
+			ms := eng.ProcessFrame(ff.Frame)
+			if job.idx != nil {
+				job.out[job.idx[k]] = ms
+			} else {
+				job.out[k] = ms
+			}
+		}
+		job.done.Done()
+	}
+}
+
+// engineFor returns the engine for feed, creating it on first use.
+// Construction cannot fail here: NewPool validated the same queries and
+// options against engine.New.
+func (w *poolWorker) engineFor(feed FeedID) *Engine {
+	if eng, ok := w.feeds[feed]; ok {
+		return eng
+	}
+	eng, err := New(w.pool.queries, w.pool.engOpts)
+	if err != nil {
+		panic(fmt.Sprintf("engine: pool-validated queries failed: %v", err))
+	}
+	w.feeds[feed] = eng
+	return eng
+}
+
+// shardOf maps a feed to its worker.
+func (p *Pool) shardOf(feed FeedID) int {
+	s := int(feed) % len(p.workers)
+	if s < 0 {
+		s += len(p.workers)
+	}
+	return s
+}
+
+// ProcessBatch runs one batch of frames through the pool and returns the
+// frames that produced at least one match, in ingestion order. Frames of
+// the same feed must appear in frame-id order within and across batches
+// (each feed consecutive from 0); feeds may interleave arbitrarily. In
+// ShardByGroup mode the batch must be a single feed's consecutive
+// frames.
+func (p *Pool) ProcessBatch(frames []FeedFrame) []FeedResult {
+	if len(frames) == 0 {
+		return nil
+	}
+	// No closed-pool guard here: an active Stream goroutine may be inside
+	// ProcessBatch while Close runs its first phase, and that is safe —
+	// Close only tears the workers down after the stream exits. Calling
+	// ProcessBatch after Close returns is caller error and panics on the
+	// closed worker channels.
+	switch p.opts.Mode {
+	case ShardByFeed:
+		return p.processByFeed(frames)
+	default:
+		return p.processByGroup(frames)
+	}
+}
+
+// processByFeed splits the batch into one job per worker, preserving
+// per-feed order, and reassembles matches by their position in the input
+// batch — the reorder buffer is the shared out slice indexed by
+// ingestion sequence.
+func (p *Pool) processByFeed(frames []FeedFrame) []FeedResult {
+	out := make([][]query.Match, len(frames))
+	var done sync.WaitGroup
+	jobs := make([]*poolJob, len(p.workers))
+	for i, ff := range frames {
+		s := p.shardOf(ff.Feed)
+		if jobs[s] == nil {
+			jobs[s] = &poolJob{out: out, done: &done}
+		}
+		jobs[s].frames = append(jobs[s].frames, ff)
+		jobs[s].idx = append(jobs[s].idx, i)
+	}
+	for s, job := range jobs {
+		if job == nil {
+			continue
+		}
+		done.Add(1)
+		p.workers[s].in <- job
+	}
+	done.Wait()
+	return assemble(frames, out)
+}
+
+// processByGroup fans the whole batch out to every shard and merges each
+// frame's matches by concatenating the shard columns in worker order;
+// shards hold ascending window ranges, so the concatenation reproduces a
+// single engine's match order exactly.
+func (p *Pool) processByGroup(frames []FeedFrame) []FeedResult {
+	cols := make([][][]query.Match, len(p.workers))
+	var done sync.WaitGroup
+	for s, w := range p.workers {
+		cols[s] = make([][]query.Match, len(frames))
+		done.Add(1)
+		w.in <- &poolJob{frames: frames, out: cols[s], done: &done}
+	}
+	done.Wait()
+
+	merged := make([][]query.Match, len(frames))
+	for i := range frames {
+		var ms []query.Match
+		for s := range cols {
+			ms = append(ms, cols[s][i]...)
+		}
+		merged[i] = ms
+	}
+	return assemble(frames, merged)
+}
+
+// assemble pairs each input frame with its matches and drops matchless
+// frames, preserving ingestion order.
+func assemble(frames []FeedFrame, matches [][]query.Match) []FeedResult {
+	var out []FeedResult
+	for i, ff := range frames {
+		if len(matches[i]) == 0 {
+			continue
+		}
+		out = append(out, FeedResult{Feed: ff.Feed, FID: ff.Frame.FID, Matches: matches[i]})
+	}
+	return out
+}
+
+// Stream consumes frames from a channel and delivers one FeedResult per
+// frame that produced matches, in ingestion order, until the input
+// closes, the context is cancelled, or the pool is closed. The returned
+// channel is closed when streaming ends. Frames are gathered into
+// batches of up to PoolOptions.Batch before dispatch: under load the
+// pool amortizes per-frame channel overhead; when the input is idle
+// each frame is processed as it arrives. The pool must not be used by
+// other goroutines while a stream is active; abandoning the output
+// channel mid-stream is safe as long as the context is eventually
+// cancelled or Close is called.
+func (p *Pool) Stream(ctx context.Context, in <-chan FeedFrame) <-chan FeedResult {
+	out := make(chan FeedResult)
+	p.streams.Add(1)
+	go func() {
+		defer p.streams.Done()
+		defer close(out)
+		emit := func(batch []FeedFrame) bool {
+			for _, r := range p.ProcessBatch(batch) {
+				select {
+				case <-ctx.Done():
+					return false
+				case <-p.done:
+					return false
+				case out <- r:
+				}
+			}
+			return true
+		}
+		batch := make([]FeedFrame, 0, p.opts.Batch)
+		for {
+			batch = batch[:0]
+			select {
+			case <-ctx.Done():
+				return
+			case <-p.done:
+				return
+			case ff, ok := <-in:
+				if !ok {
+					return
+				}
+				batch = append(batch, ff)
+			}
+			// Opportunistically top the batch up with whatever is already
+			// queued, without blocking for more input.
+		fill:
+			for len(batch) < p.opts.Batch {
+				select {
+				case <-ctx.Done():
+					return
+				case <-p.done:
+					return
+				case ff, ok := <-in:
+					if !ok {
+						emit(batch)
+						return
+					}
+					batch = append(batch, ff)
+				default:
+					break fill
+				}
+			}
+			if !emit(batch) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Workers returns the number of engine shards in the pool.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// StateCount reports the total number of live states across every engine
+// in the pool, for instrumentation. Call it only between ProcessBatch
+// calls (or after the stream ends); it reads worker-owned engines.
+func (p *Pool) StateCount() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.eng != nil {
+			n += w.eng.StateCount()
+		}
+		for _, eng := range w.feeds {
+			n += eng.StateCount()
+		}
+	}
+	return n
+}
+
+// Close ends any active stream, then shuts down the worker goroutines.
+// The pool must not be used afterwards; Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	// Unblock a stream goroutine parked on its output channel (or its
+	// input) and wait for it before tearing down the workers it uses.
+	close(p.done)
+	p.streams.Wait()
+	for _, w := range p.workers {
+		close(w.in)
+	}
+	p.wg.Wait()
+}

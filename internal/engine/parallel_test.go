@@ -1,0 +1,432 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"tvq/internal/cnf"
+	"tvq/internal/query"
+	"tvq/internal/vr"
+)
+
+// poolQueries is a workload spanning three window sizes, so group
+// sharding has something to partition.
+func poolQueries(t *testing.T) []cnf.Query {
+	t.Helper()
+	return []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 10, 5),
+		mkQuery(t, 2, "person >= 1", 10, 4),
+		mkQuery(t, 3, "car >= 2", 16, 8),
+		mkQuery(t, 4, "person >= 1 AND car >= 1", 16, 6),
+		mkQuery(t, 5, "(person >= 2 OR truck >= 1) AND car >= 1", 24, 8),
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if _, err := NewPool(nil, PoolOptions{}); err == nil {
+		t.Error("no queries accepted")
+	}
+	qs := poolQueries(t)
+	if _, err := NewPool(qs, PoolOptions{Mode: ShardMode(99)}); err == nil {
+		t.Error("bogus shard mode accepted")
+	}
+	if _, err := NewPool(qs, PoolOptions{Engine: Options{Method: "bogus"}}); err == nil {
+		t.Error("bogus engine method accepted")
+	}
+	p, err := NewPool(qs, PoolOptions{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Workers() != 3 {
+		t.Errorf("Workers = %d, want 3", p.Workers())
+	}
+	// Group mode cannot use more shards than distinct windows (3 here).
+	pg, err := NewPool(qs, PoolOptions{Workers: 8, Mode: ShardByGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	if pg.Workers() != 3 {
+		t.Errorf("group-mode Workers = %d, want 3 (distinct windows)", pg.Workers())
+	}
+}
+
+func TestPartitionByWindow(t *testing.T) {
+	qs := poolQueries(t) // windows 10(x2), 16(x2), 24(x1)
+	parts := partitionByWindow(qs, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d parts, want 2", len(parts))
+	}
+	total := 0
+	lastMax := 0
+	for _, part := range parts {
+		if len(part) == 0 {
+			t.Fatal("empty shard")
+		}
+		minW, maxW := part[0].Window, part[0].Window
+		for _, q := range part {
+			total++
+			if q.Window < minW {
+				minW = q.Window
+			}
+			if q.Window > maxW {
+				maxW = q.Window
+			}
+		}
+		if minW < lastMax {
+			t.Fatalf("shard windows overlap previous shard: min %d after max %d", minW, lastMax)
+		}
+		lastMax = maxW
+	}
+	if total != len(qs) {
+		t.Fatalf("partition lost queries: %d of %d", total, len(qs))
+	}
+}
+
+// singleEngineResults runs the baseline: one engine over one trace,
+// keyed per frame for comparison.
+func singleEngineResults(t *testing.T, tr *vr.Trace, qs []cnf.Query, opts Options) []FrameResult {
+	t.Helper()
+	eng, err := New(qs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Run(tr)
+}
+
+func resultKeys(ms []query.Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = matchKey(m)
+	}
+	return keys
+}
+
+// TestPoolGroupModeByteIdentical: window-group sharding must reproduce
+// the single engine's matches exactly — same frames, same matches, same
+// order within each frame — across arbitrary batch splits.
+func TestPoolGroupModeByteIdentical(t *testing.T) {
+	tr := smallTrace(t, 21)
+	qs := poolQueries(t)
+	want := singleEngineResults(t, tr, qs, Options{})
+
+	for _, batch := range []int{1, 7, 64} {
+		p, err := NewPool(qs, PoolOptions{Workers: 3, Mode: ShardByGroup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []FeedResult
+		frames := tr.Frames()
+		for lo := 0; lo < len(frames); lo += batch {
+			hi := lo + batch
+			if hi > len(frames) {
+				hi = len(frames)
+			}
+			ffs := make([]FeedFrame, 0, hi-lo)
+			for _, f := range frames[lo:hi] {
+				ffs = append(ffs, FeedFrame{Frame: f})
+			}
+			got = append(got, p.ProcessBatch(ffs)...)
+		}
+		p.Close()
+
+		if len(got) != len(want) {
+			t.Fatalf("batch=%d: %d matching frames, want %d", batch, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].FID != want[i].FID {
+				t.Fatalf("batch=%d: frame %d is %d, want %d", batch, i, got[i].FID, want[i].FID)
+			}
+			if !reflect.DeepEqual(resultKeys(got[i].Matches), resultKeys(want[i].Matches)) {
+				t.Fatalf("batch=%d: frame %d matches differ:\n got %v\nwant %v",
+					batch, got[i].FID, resultKeys(got[i].Matches), resultKeys(want[i].Matches))
+			}
+		}
+	}
+}
+
+// TestPoolFeedModeByteIdentical: feed sharding must give every feed
+// exactly the matches a dedicated engine would produce, and deliver
+// results in ingestion order.
+func TestPoolFeedModeByteIdentical(t *testing.T) {
+	qs := poolQueries(t)
+	const feeds = 3
+	traces := make([]*vr.Trace, feeds)
+	want := make([][]FrameResult, feeds)
+	for i := range traces {
+		traces[i] = smallTrace(t, int64(31+i))
+		want[i] = singleEngineResults(t, traces[i], qs, Options{})
+	}
+
+	// Interleave the feeds round-robin, as a multiplexed camera stream
+	// would arrive.
+	var input []FeedFrame
+	for fi := 0; ; fi++ {
+		any := false
+		for feed := 0; feed < feeds; feed++ {
+			if fi < traces[feed].Len() {
+				input = append(input, FeedFrame{Feed: FeedID(feed), Frame: traces[feed].Frame(fi)})
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+
+	p, err := NewPool(qs, PoolOptions{Workers: 2, Mode: ShardByFeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var got []FeedResult
+	for lo := 0; lo < len(input); lo += 50 {
+		hi := lo + 50
+		if hi > len(input) {
+			hi = len(input)
+		}
+		got = append(got, p.ProcessBatch(input[lo:hi])...)
+	}
+
+	// Ingestion order: results must be a subsequence of the input.
+	pos := 0
+	for _, r := range got {
+		for pos < len(input) && (input[pos].Feed != r.Feed || input[pos].Frame.FID != r.FID) {
+			pos++
+		}
+		if pos == len(input) {
+			t.Fatalf("result (feed %d, fid %d) out of ingestion order", r.Feed, r.FID)
+		}
+		pos++
+	}
+
+	// Per-feed equality with the dedicated-engine baseline.
+	perFeed := make([][]FeedResult, feeds)
+	for _, r := range got {
+		perFeed[r.Feed] = append(perFeed[r.Feed], r)
+	}
+	for feed := 0; feed < feeds; feed++ {
+		if len(perFeed[feed]) != len(want[feed]) {
+			t.Fatalf("feed %d: %d matching frames, want %d", feed, len(perFeed[feed]), len(want[feed]))
+		}
+		for i, w := range want[feed] {
+			g := perFeed[feed][i]
+			if g.FID != w.FID || !reflect.DeepEqual(resultKeys(g.Matches), resultKeys(w.Matches)) {
+				t.Fatalf("feed %d frame %d: matches differ", feed, w.FID)
+			}
+		}
+	}
+}
+
+// TestPoolStreamDeliversInOrder: the streaming front-end must produce the
+// same results as ProcessBatch, in order, and close its output when the
+// input closes.
+func TestPoolStreamDeliversInOrder(t *testing.T) {
+	tr := smallTrace(t, 41)
+	qs := poolQueries(t)
+	want := singleEngineResults(t, tr, qs, Options{})
+
+	p, err := NewPool(qs, PoolOptions{Workers: 3, Mode: ShardByGroup, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	in := make(chan FeedFrame)
+	go func() {
+		defer close(in)
+		for _, f := range tr.Frames() {
+			in <- FeedFrame{Frame: f}
+		}
+	}()
+
+	var got []FeedResult
+	for r := range p.Stream(context.Background(), in) {
+		got = append(got, r)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream produced %d matching frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].FID != want[i].FID {
+			t.Fatalf("stream result %d: fid %d, want %d", i, got[i].FID, want[i].FID)
+		}
+		if !reflect.DeepEqual(resultKeys(got[i].Matches), resultKeys(want[i].Matches)) {
+			t.Fatalf("stream frame %d: matches differ", got[i].FID)
+		}
+	}
+}
+
+// TestPoolStreamCancel: cancelling the context must end the stream
+// promptly — output channel closed, no worker wedged — even while the
+// producer keeps offering frames.
+func TestPoolStreamCancel(t *testing.T) {
+	tr := smallTrace(t, 43)
+	qs := poolQueries(t)
+	p, err := NewPool(qs, PoolOptions{Workers: 2, Mode: ShardByFeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan FeedFrame)
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		for i := 0; ; i++ {
+			f := tr.Frame(i % tr.Len())
+			f.FID = vr.FrameID(i)
+			select {
+			case in <- FeedFrame{Frame: f}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	out := p.Stream(ctx, in)
+	n := 0
+	for range out {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	}
+	// Output closed after cancel; producer unblocks via the same context.
+	<-producerDone
+	cancel()
+}
+
+// TestPoolGoroutineHygiene: Close must reap every worker goroutine and a
+// finished stream must not leave a merger behind.
+func TestPoolGoroutineHygiene(t *testing.T) {
+	qs := poolQueries(t)
+	tr := smallTrace(t, 47)
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		p, err := NewPool(qs, PoolOptions{Workers: 4, Mode: ShardByFeed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(chan FeedFrame)
+		go func() {
+			defer close(in)
+			for _, f := range tr.Frames() {
+				in <- FeedFrame{Frame: f}
+			}
+		}()
+		for range p.Stream(context.Background(), in) {
+		}
+		p.Close()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestPoolCloseEndsAbandonedStream: a caller that breaks out of the
+// result loop without cancelling the context must still get a clean
+// teardown from Close — the stream goroutine parked on the unread
+// output channel is released, nothing leaks, nothing panics.
+func TestPoolCloseEndsAbandonedStream(t *testing.T) {
+	tr := smallTrace(t, 67)
+	qs := poolQueries(t)
+	before := runtime.NumGoroutine()
+
+	p, err := NewPool(qs, PoolOptions{Workers: 2, Mode: ShardByFeed, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan FeedFrame, tr.Len())
+	for _, f := range tr.Frames() {
+		in <- FeedFrame{Frame: f}
+	}
+	close(in)
+	out := p.Stream(context.Background(), in)
+	n := 0
+	for range out {
+		if n++; n == 2 {
+			break // abandon the stream, context never cancelled
+		}
+	}
+	p.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("abandoned stream leaked goroutines: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestNewPoolErrorLeavesNoWorkers: a shard whose engine construction
+// fails (duplicate query id confined to a later window group) must make
+// NewPool error out without stranding goroutines for earlier shards.
+func TestNewPoolErrorLeavesNoWorkers(t *testing.T) {
+	qs := []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 10, 5),
+		mkQuery(t, 2, "person >= 1", 20, 5),
+		mkQuery(t, 2, "truck >= 1", 20, 5), // duplicate id, second shard only
+	}
+	before := runtime.NumGoroutine()
+	if _, err := NewPool(qs, PoolOptions{Workers: 2, Mode: ShardByGroup}); err == nil {
+		t.Fatal("duplicate query id accepted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("failed NewPool leaked goroutines: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestPoolCloseIdempotent: double Close must not panic.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p, err := NewPool(poolQueries(t), PoolOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+}
+
+// TestPoolStateCount: instrumentation should see states in both modes.
+func TestPoolStateCount(t *testing.T) {
+	tr := smallTrace(t, 53)
+	qs := poolQueries(t)
+	for _, mode := range []ShardMode{ShardByFeed, ShardByGroup} {
+		p, err := NewPool(qs, PoolOptions{Workers: 2, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffs := make([]FeedFrame, 0, tr.Len())
+		for _, f := range tr.Frames() {
+			ffs = append(ffs, FeedFrame{Frame: f})
+		}
+		p.ProcessBatch(ffs)
+		if p.StateCount() <= 0 {
+			t.Errorf("mode %d: StateCount = %d, want > 0", mode, p.StateCount())
+		}
+		p.Close()
+	}
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"tvq/internal/cnf"
+	"tvq/internal/vr"
+)
+
+func streamQueries(t *testing.T) []cnf.Query {
+	t.Helper()
+	return []cnf.Query{
+		mkQuery(t, 1, "car >= 1", 12, 6),
+		mkQuery(t, 2, "person >= 1 AND car >= 1", 12, 4),
+	}
+}
+
+// TestStreamMatchesProcessFrame: streaming a trace must yield exactly the
+// matching frames ProcessFrame finds, in feed order.
+func TestStreamMatchesProcessFrame(t *testing.T) {
+	tr := smallTrace(t, 61)
+	qs := streamQueries(t)
+	want := singleEngineResults(t, tr, qs, Options{})
+
+	eng, err := New(qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan vr.Frame)
+	go func() {
+		defer close(in)
+		for _, f := range tr.Frames() {
+			in <- f
+		}
+	}()
+	var got []StreamResult
+	for r := range eng.Stream(context.Background(), in) {
+		got = append(got, r)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("stream delivered %d matching frames, want %d", len(got), len(want))
+	}
+	last := vr.FrameID(-1)
+	for i, r := range got {
+		if r.FID <= last {
+			t.Fatalf("result %d: fid %d not after %d (out of feed order)", i, r.FID, last)
+		}
+		last = r.FID
+		if r.FID != want[i].FID || !reflect.DeepEqual(resultKeys(r.Matches), resultKeys(want[i].Matches)) {
+			t.Fatalf("frame %d: stream matches differ from ProcessFrame", r.FID)
+		}
+	}
+}
+
+// TestStreamInputClose: closing the input channel must close the output
+// channel, even when no frame ever matched.
+func TestStreamInputClose(t *testing.T) {
+	eng, err := New(streamQueries(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan vr.Frame)
+	out := eng.Stream(context.Background(), in)
+	close(in)
+	select {
+	case _, ok := <-out:
+		if ok {
+			t.Fatal("unexpected result on empty stream")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("output not closed after input close")
+	}
+}
+
+// TestStreamContextCancelMidStream: cancelling while the producer is
+// still sending must close the output promptly and leave no goroutine
+// behind, whether the consumer is draining or not.
+func TestStreamContextCancelMidStream(t *testing.T) {
+	tr := smallTrace(t, 63)
+	eng, err := New(streamQueries(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan vr.Frame)
+	go func() {
+		// Endless producer: recycle the trace with fresh consecutive ids.
+		for i := 0; ; i++ {
+			f := tr.Frame(i % tr.Len())
+			f.FID = vr.FrameID(i)
+			select {
+			case in <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	out := eng.Stream(ctx, in)
+	n := 0
+	for range out {
+		if n++; n == 2 {
+			cancel()
+		}
+	}
+	// Reaching here means out was closed after cancellation.
+	cancel()
+}
+
+// TestStreamNoGoroutineLeak: repeated stream runs (ended by input close
+// and by cancellation, including cancellation with an unread result
+// pending) must not accumulate goroutines.
+func TestStreamNoGoroutineLeak(t *testing.T) {
+	tr := smallTrace(t, 65)
+	qs := streamQueries(t)
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		eng, err := New(qs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		in := make(chan vr.Frame, tr.Len())
+		for _, f := range tr.Frames() {
+			in <- f
+		}
+		close(in)
+		out := eng.Stream(ctx, in)
+		if i%2 == 0 {
+			for range out {
+			}
+		} else {
+			// Abandon the stream mid-flight: cancel without draining. The
+			// pipeline goroutine must exit via ctx even though a result may
+			// be blocked on the unread output channel.
+			cancel()
+		}
+		cancel()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -78,6 +78,16 @@ type (
 	FrameResult = engine.FrameResult
 	// StreamResult is one frame's matches on a streaming run.
 	StreamResult = engine.StreamResult
+	// FeedID identifies one feed (camera) in a multi-feed Pool.
+	FeedID = engine.FeedID
+	// FeedFrame is one frame of one feed, the Pool's unit of ingestion.
+	FeedFrame = engine.FeedFrame
+	// FeedResult is one matching frame of a Pool run, in ingestion order.
+	FeedResult = engine.FeedResult
+	// PoolOptions configures a parallel Pool.
+	PoolOptions = engine.PoolOptions
+	// ShardMode selects how a Pool distributes work across engines.
+	ShardMode = engine.ShardMode
 )
 
 // MCOS maintenance strategies.
@@ -93,8 +103,28 @@ const (
 	Tumbling = engine.Tumbling
 )
 
+// Pool sharding modes.
+const (
+	// ShardByFeed pins each feed to a worker — the multi-camera mode.
+	ShardByFeed = engine.ShardByFeed
+	// ShardByGroup partitions one feed's window groups across workers.
+	ShardByGroup = engine.ShardByGroup
+)
+
 // Engine evaluates a fixed set of temporal queries over a video feed.
 type Engine = engine.Engine
+
+// Pool runs N independent engines in parallel over a multi-feed frame
+// stream, sharding frames across them and merging results back into
+// ingestion order. See engine.Pool for the full contract.
+type Pool = engine.Pool
+
+// NewPool builds a parallel executor over the given queries. The zero
+// PoolOptions uses one worker per CPU in multi-camera (ShardByFeed)
+// mode with default engine options.
+func NewPool(queries []Query, opts PoolOptions) (*Pool, error) {
+	return engine.NewPool(queries, opts)
+}
 
 // NewEngine builds an engine for the given queries. See Options for the
 // strategy, registry and pruning knobs; the zero Options selects the SSG

@@ -62,6 +62,68 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 }
 
+// TestPoolFacade drives the parallel executor through the public API:
+// two feeds through a ShardByFeed pool must reproduce the per-feed
+// single-engine totals.
+func TestPoolFacade(t *testing.T) {
+	reg := tvq.StandardRegistry()
+	p, _ := tvq.DatasetByName("M1")
+	p.Frames = 150
+	p.Objects = 30
+	queries := []tvq.Query{
+		tvq.MustQuery(1, "person >= 1", 30, 15),
+		tvq.MustQuery(2, "person >= 2 AND car >= 1", 30, 10),
+	}
+
+	var traces []*tvq.Trace
+	want := make(map[tvq.FeedID]int)
+	for feed := 0; feed < 2; feed++ {
+		trace, err := tvq.GenerateDataset(p, int64(50+feed), tvq.Noise{}, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, trace)
+		eng, err := tvq.NewEngine(queries, tvq.Options{Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range trace.Frames() {
+			want[tvq.FeedID(feed)] += len(eng.ProcessFrame(f))
+		}
+	}
+
+	pool, err := tvq.NewPool(queries, tvq.PoolOptions{
+		Workers: 2,
+		Mode:    tvq.ShardByFeed,
+		Engine:  tvq.Options{Registry: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var batch []tvq.FeedFrame
+	for fi := 0; fi < p.Frames; fi++ {
+		for feed, trace := range traces {
+			if fi < trace.Len() {
+				batch = append(batch, tvq.FeedFrame{Feed: tvq.FeedID(feed), Frame: trace.Frame(fi)})
+			}
+		}
+	}
+	got := make(map[tvq.FeedID]int)
+	for _, r := range pool.ProcessBatch(batch) {
+		got[r.Feed] += len(r.Matches)
+	}
+	for feed, n := range want {
+		if got[feed] != n {
+			t.Errorf("feed %d: pool found %d matches, single engine %d", feed, got[feed], n)
+		}
+	}
+	if want[0] == 0 {
+		t.Error("workload produced no matches; test is vacuous")
+	}
+}
+
 func TestTraceRoundTripThroughFacade(t *testing.T) {
 	reg := tvq.StandardRegistry()
 	p, _ := tvq.DatasetByName("V1")
