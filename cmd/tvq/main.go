@@ -7,6 +7,8 @@
 //	tvq -q "car >= 2" -q "bus >= 1" -w 150 -d 100 -method mfs trace.jsonl
 //	tvqgen -dataset M2 | tvq -q "person >= 3" -w 300 -d 240 -
 //	tvq -q "person >= 2 @ 600:450" -q "car >= 1" -w 300 -d 240 -workers 2 trace.csv
+//	tvq -q "car >= 1" -checkpoint run.tvqsnap -every 500 trace.csv
+//	tvq -resume run.tvqsnap trace.csv
 //
 // Each -q flag adds one query. A query uses the shared -w/-d parameters
 // unless it carries its own "@ window:duration" suffix, as in
@@ -19,16 +21,28 @@
 // bounded by the number of distinct window sizes, so give queries
 // different @-windows to use more than one worker; the pool warns when
 // it clamps.
+//
+// With -checkpoint the engine state is snapshotted to the given path
+// every -every frames ("500") or every -every of wall clock ("30s"),
+// atomically (written to a temp file and renamed). A killed run is
+// picked up with -resume: the engine (or pool) is restored from the
+// snapshot, already-processed frames of the trace are skipped, and the
+// continuation emits exactly the matches the uninterrupted run would
+// have emitted. The snapshot records whether it holds an engine or a
+// pool run, so plain "-resume file trace" works for both. When
+// resuming, queries and engine options are taken from the snapshot;
+// -q/-w/-d are ignored, and an explicit -method or -workers that
+// disagrees with the snapshot is an error.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tvq"
 )
@@ -38,59 +52,292 @@ type queryFlags []string
 func (q *queryFlags) String() string     { return strings.Join(*q, "; ") }
 func (q *queryFlags) Set(s string) error { *q = append(*q, s); return nil }
 
+type config struct {
+	queries    []string
+	window     int
+	duration   int
+	method     string
+	methodSet  bool
+	prune      bool
+	format     string
+	quiet      bool
+	workers    int
+	workersSet bool
+	checkpoint string
+	every      string
+	resume     string
+	path       string
+}
+
 func main() {
 	var (
-		queries  queryFlags
-		window   = flag.Int("w", 300, "window size in frames")
-		duration = flag.Int("d", 240, "duration threshold in frames")
-		method   = flag.String("method", "ssg", "state maintenance: naive, mfs or ssg")
-		prune    = flag.Bool("prune", false, "enable result-driven pruning (>=-only query sets)")
-		format   = flag.String("format", "", "trace format: csv or jsonl (default: from extension)")
-		quiet    = flag.Bool("quiet", false, "print only the match count")
-		workers  = flag.Int("workers", 1, "engine shards; above 1 runs a parallel pool over the window groups")
+		queries    queryFlags
+		window     = flag.Int("w", 300, "window size in frames")
+		duration   = flag.Int("d", 240, "duration threshold in frames")
+		method     = flag.String("method", "ssg", "state maintenance: naive, mfs or ssg")
+		prune      = flag.Bool("prune", false, "enable result-driven pruning (>=-only query sets)")
+		format     = flag.String("format", "", "trace format: csv or jsonl (default: from extension)")
+		quiet      = flag.Bool("quiet", false, "print only the match count")
+		workers    = flag.Int("workers", 1, "engine shards; above 1 runs a parallel pool over the window groups")
+		checkpoint = flag.String("checkpoint", "", "snapshot engine state to this path periodically (see -every)")
+		every      = flag.String("every", "1000", "checkpoint cadence: a frame count (\"500\") or a wall-clock duration (\"30s\")")
+		resume     = flag.String("resume", "", "restore engine state from this snapshot and continue the trace")
 	)
 	flag.Var(&queries, "q", "query text (repeatable), e.g. \"car >= 1 AND person >= 2\"; append \"@ w:d\" for a per-query window")
 	flag.Parse()
 
-	if err := run(queries, *window, *duration, *method, *prune, *format, *quiet, *workers, flag.Arg(0)); err != nil {
+	cfg := config{
+		queries:    queries,
+		window:     *window,
+		duration:   *duration,
+		method:     *method,
+		prune:      *prune,
+		format:     *format,
+		quiet:      *quiet,
+		workers:    *workers,
+		checkpoint: *checkpoint,
+		every:      *every,
+		resume:     *resume,
+		path:       flag.Arg(0),
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "method":
+			cfg.methodSet = true
+		case "workers":
+			cfg.workersSet = true
+		}
+	})
+
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tvq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(texts []string, window, duration int, method string, prune bool, format string, quiet bool, workers int, path string) error {
-	if len(texts) == 0 {
-		return fmt.Errorf("no queries; pass at least one -q")
+func run(cfg config) error {
+	if len(cfg.queries) == 0 && cfg.resume == "" {
+		return fmt.Errorf("no queries; pass at least one -q (or -resume a snapshot)")
 	}
-	if path == "" {
+	if cfg.path == "" {
 		return fmt.Errorf("no trace path; pass a file or - for stdin")
 	}
 
-	var qs []tvq.Query
-	for i, text := range texts {
-		text, w, d, err := splitWindowSuffix(text, window, duration)
+	trace, err := readTrace(cfg)
+	if err != nil {
+		return err
+	}
+
+	ck, err := newCheckpointer(cfg.checkpoint, cfg.every)
+	if err != nil {
+		return err
+	}
+
+	total := 0
+	report := func(fid int64, ms []tvq.Match) {
+		for _, m := range ms {
+			total++
+			if !cfg.quiet {
+				fmt.Printf("frame %d: %s\n", fid, tvq.FormatMatch(m))
+			}
+		}
+	}
+
+	// A snapshot knows whether it holds an engine or a pool; route on
+	// that, not on -workers, so the plain "tvq -resume file trace"
+	// recipe works for both kinds of run.
+	usePool := cfg.workers > 1
+	if cfg.resume != "" {
+		kind, err := snapshotKind(cfg.resume)
 		if err != nil {
 			return err
+		}
+		usePool = kind == "pool"
+	}
+
+	var nqueries int
+	var start int64
+	var method tvq.Method
+	if usePool {
+		nqueries, start, method, err = runPool(cfg, trace, report, ck)
+	} else {
+		nqueries, start, method, err = runEngine(cfg, trace, report, ck)
+	}
+	if err != nil {
+		return err
+	}
+	if start > 0 {
+		fmt.Fprintf(os.Stderr, "tvq: resumed at frame %d (%d frames already processed)\n", start, start)
+	}
+
+	fmt.Printf("%d matches over %d frames (%d queries, method=%s)\n",
+		total, trace.Len()-int(start), nqueries, method)
+	return nil
+}
+
+// snapshotKind sniffs whether path holds an engine or a pool snapshot.
+func snapshotKind(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	return tvq.SnapshotKind(f)
+}
+
+// runEngine drives a single engine, either fresh or restored.
+func runEngine(cfg config, trace *tvq.Trace, report func(int64, []tvq.Match), ck *checkpointer) (nqueries int, start int64, method tvq.Method, err error) {
+	var eng *tvq.Engine
+	if cfg.resume != "" {
+		eng, err = restoreEngine(cfg)
+	} else {
+		var qs []tvq.Query
+		qs, err = parseQueries(cfg)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		eng, err = tvq.NewEngine(qs, engineOptions(cfg))
+	}
+	if err != nil {
+		return 0, 0, "", err
+	}
+	start = eng.NextFID()
+	if start > int64(trace.Len()) {
+		return 0, 0, "", fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
+	}
+	for _, f := range trace.Frames()[start:] {
+		report(f.FID, eng.ProcessFrame(f))
+		if ck.due(1) {
+			if err := ck.write(eng.Snapshot); err != nil {
+				return 0, 0, "", err
+			}
+		}
+	}
+	return len(eng.Queries()), start, eng.Method(), nil
+}
+
+// runPool drives a window-group-sharded pool, either fresh or restored.
+func runPool(cfg config, trace *tvq.Trace, report func(int64, []tvq.Match), ck *checkpointer) (nqueries int, start int64, method tvq.Method, err error) {
+	var pool *tvq.Pool
+	if cfg.resume != "" {
+		pool, err = restorePool(cfg)
+		if err != nil {
+			return 0, 0, "", err
+		}
+	} else {
+		qs, err := parseQueries(cfg)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		pool, err = tvq.NewPool(qs, tvq.PoolOptions{
+			Workers: cfg.workers,
+			Mode:    tvq.ShardByGroup,
+			Engine:  engineOptions(cfg),
+		})
+		if err != nil {
+			return 0, 0, "", err
+		}
+		if pool.Workers() < cfg.workers {
+			fmt.Fprintf(os.Stderr,
+				"tvq: note: %d workers requested but only %d usable; parallelism is bounded by distinct window sizes — give queries different \"@ w:d\" windows to shard wider\n",
+				cfg.workers, pool.Workers())
+		}
+	}
+	defer pool.Close()
+
+	start = pool.NextFID(0)
+	if start > int64(trace.Len()) {
+		return 0, 0, "", fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
+	}
+	frames := trace.Frames()[start:]
+	const batchSize = 64
+	for i := 0; i < len(frames); i += batchSize {
+		end := min(i+batchSize, len(frames))
+		batch := make([]tvq.FeedFrame, 0, end-i)
+		for _, f := range frames[i:end] {
+			batch = append(batch, tvq.FeedFrame{Frame: f})
+		}
+		for _, r := range pool.ProcessBatch(batch) {
+			report(r.FID, r.Matches)
+		}
+		if ck.due(end - i) {
+			if err := ck.write(pool.Snapshot); err != nil {
+				return 0, 0, "", err
+			}
+		}
+	}
+	return len(pool.Queries()), start, pool.Method(), nil
+}
+
+func restoreEngine(cfg config) (*tvq.Engine, error) {
+	f, err := os.Open(cfg.resume)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	opts := tvq.Options{Registry: tvq.StandardRegistry()}
+	if cfg.methodSet {
+		opts.Method = tvq.Method(cfg.method)
+	}
+	return tvq.RestoreEngine(f, opts)
+}
+
+func restorePool(cfg config) (*tvq.Pool, error) {
+	f, err := os.Open(cfg.resume)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	opts := tvq.PoolOptions{Engine: tvq.Options{Registry: tvq.StandardRegistry()}}
+	if cfg.methodSet {
+		opts.Engine.Method = tvq.Method(cfg.method)
+	}
+	if cfg.workersSet {
+		// Cross-check only: the recorded worker count shaped the sharding,
+		// so an explicit disagreeing -workers is an error, not a resize.
+		opts.Workers = cfg.workers
+	}
+	return tvq.RestorePool(f, opts)
+}
+
+func engineOptions(cfg config) tvq.Options {
+	return tvq.Options{
+		Method:   tvq.Method(cfg.method),
+		Prune:    cfg.prune,
+		Registry: tvq.StandardRegistry(),
+	}
+}
+
+func parseQueries(cfg config) ([]tvq.Query, error) {
+	var qs []tvq.Query
+	for i, text := range cfg.queries {
+		text, w, d, err := splitWindowSuffix(text, cfg.window, cfg.duration)
+		if err != nil {
+			return nil, err
 		}
 		q, err := tvq.ParseQuery(i+1, text, w, d)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		qs = append(qs, q)
 	}
+	return qs, nil
+}
 
+func readTrace(cfg config) (*tvq.Trace, error) {
 	var in io.Reader
-	if path == "-" {
+	format := cfg.format
+	if cfg.path == "-" {
 		in = os.Stdin
 	} else {
-		f, err := os.Open(path)
+		f, err := os.Open(cfg.path)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		in = f
 		if format == "" {
-			if strings.HasSuffix(path, ".jsonl") {
+			if strings.HasSuffix(cfg.path, ".jsonl") {
 				format = "jsonl"
 			} else {
 				format = "csv"
@@ -100,85 +347,99 @@ func run(texts []string, window, duration int, method string, prune bool, format
 	if format == "" {
 		format = "csv"
 	}
-
 	reg := tvq.StandardRegistry()
-	var trace *tvq.Trace
-	var err error
 	switch format {
 	case "csv":
-		trace, err = tvq.ReadTraceCSV(in, reg)
+		return tvq.ReadTraceCSV(in, reg)
 	case "jsonl":
-		trace, err = tvq.ReadTraceJSONL(in, reg)
+		return tvq.ReadTraceJSONL(in, reg)
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return nil, fmt.Errorf("unknown format %q", format)
 	}
+}
+
+// checkpointer writes snapshots to a path on a frame-count or
+// wall-clock cadence, atomically (temp file + rename) so a crash during
+// a write never clobbers the previous good checkpoint.
+type checkpointer struct {
+	path        string
+	everyFrames int
+	everyDur    time.Duration
+	frames      int
+	last        time.Time
+}
+
+// newCheckpointer parses the -every value: a bare integer is a frame
+// count, anything else must parse as a time.Duration.
+func newCheckpointer(path, every string) (*checkpointer, error) {
+	if path == "" {
+		return &checkpointer{}, nil
+	}
+	ck := &checkpointer{path: path, last: time.Now()}
+	if n, err := strconv.Atoi(every); err == nil {
+		if n <= 0 {
+			return nil, fmt.Errorf("-every frame count must be positive, got %d", n)
+		}
+		ck.everyFrames = n
+		return ck, nil
+	}
+	d, err := time.ParseDuration(every)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("-every %q is neither a frame count nor a duration (try \"500\" or \"30s\")", every)
 	}
+	if d <= 0 {
+		return nil, fmt.Errorf("-every duration must be positive, got %v", d)
+	}
+	ck.everyDur = d
+	return ck, nil
+}
 
-	opts := tvq.Options{
-		Method:   tvq.Method(method),
-		Prune:    prune,
-		Registry: reg,
+// due reports whether a checkpoint should be written after n more
+// processed frames.
+func (c *checkpointer) due(n int) bool {
+	if c.path == "" {
+		return false
 	}
+	c.frames += n
+	if c.everyFrames > 0 && c.frames >= c.everyFrames {
+		return true
+	}
+	if c.everyDur > 0 && time.Since(c.last) >= c.everyDur {
+		return true
+	}
+	return false
+}
 
-	total := 0
-	report := func(fid int64, ms []tvq.Match) {
-		for _, m := range ms {
-			total++
-			if !quiet {
-				fmt.Printf("frame %d: %s\n", fid, tvq.FormatMatch(m))
-			}
-		}
+// write snapshots via snap into path atomically and resets the cadence.
+func (c *checkpointer) write(snap func(io.Writer) error) error {
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
 	}
-
-	if workers > 1 {
-		pool, err := tvq.NewPool(qs, tvq.PoolOptions{
-			Workers: workers,
-			Mode:    tvq.ShardByGroup,
-			Engine:  opts,
-		})
-		if err != nil {
-			return err
-		}
-		defer pool.Close()
-		if pool.Workers() < workers {
-			fmt.Fprintf(os.Stderr,
-				"tvq: note: %d workers requested but only %d usable; parallelism is bounded by distinct window sizes — give queries different \"@ w:d\" windows to shard wider\n",
-				workers, pool.Workers())
-		}
-		in := make(chan tvq.FeedFrame, 64)
-		go func() {
-			defer close(in)
-			for _, f := range trace.Frames() {
-				in <- tvq.FeedFrame{Frame: f}
-			}
-		}()
-		for r := range pool.Stream(context.Background(), in) {
-			report(r.FID, r.Matches)
-		}
-	} else {
-		eng, err := tvq.NewEngine(qs, opts)
-		if err != nil {
-			return err
-		}
-		for _, f := range trace.Frames() {
-			report(f.FID, eng.ProcessFrame(f))
-		}
+	if err := snap(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
 	}
-	shared := true
-	for _, q := range qs {
-		if q.Window != window || q.Duration != duration {
-			shared = false
-			break
-		}
+	// Flush to stable storage before the rename becomes visible: without
+	// this a power loss can persist the rename but not the data, leaving
+	// a truncated file where the previous good checkpoint was.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
 	}
-	params := fmt.Sprintf("w=%d, d=%d", window, duration)
-	if !shared {
-		params = "per-query windows"
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
 	}
-	fmt.Printf("%d matches over %d frames (%d queries, %s, method=%s)\n",
-		total, trace.Len(), len(qs), params, method)
+	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	c.frames = 0
+	c.last = time.Now()
 	return nil
 }
 

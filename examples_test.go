@@ -1,0 +1,54 @@
+package tvq_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun smoke-tests every examples/* program: each must build,
+// run to completion without arguments, and exit 0. Examples are user-facing
+// documentation with no other test coverage, so this is what keeps them
+// from rotting as the API moves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example programs in -short mode")
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found; run from the repository root")
+	}
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			// Examples that write files (examples/resume's snapshot) must
+			// not litter the repository: give each run its own directory
+			// via TMPDIR and run from the repo root so ./examples resolves.
+			cmd.Env = append(os.Environ(), "TMPDIR="+t.TempDir())
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example timed out\noutput:\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("go run ./%s: %v\noutput:\n%s", dir, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example produced no output; expected a walkthrough")
+			}
+		})
+	}
+}

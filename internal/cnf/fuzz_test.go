@@ -1,0 +1,49 @@
+package cnf
+
+import "testing"
+
+// FuzzParse hardens the query parser: arbitrary input must either parse
+// into a query that validates and round-trips through its own String
+// rendering, or return an error — never panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"car >= 1",
+		"car >= 1 AND person >= 2",
+		"car >= 2 AND (person <= 3 OR bus = 1)",
+		"(a >= 1 OR b <= 2 OR c = 3) AND d >= 0",
+		"#17",
+		"#17 AND car >= 1",
+		"car == 2 && person >= 1 || bus <= 0",
+		"person>=2AND car<=1",
+		"((((",
+		"AND AND AND",
+		"car >",
+		"car >= 99999999999999999999",
+		"\x00\xff\xfe",
+		"日本語 >= 1",
+		"_x-y >= 0 AND ( #0 OR z = 4 )",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := Parse(text)
+		if err != nil {
+			return
+		}
+		// A parsed query must render back into parseable text with the
+		// same structure (window/duration are not part of the syntax).
+		q.Window, q.Duration = 10, 5
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse(%q) produced invalid query %v: %v", text, q, err)
+		}
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", q.String(), text, err)
+		}
+		back.Window, back.Duration = q.Window, q.Duration
+		if back.String() != q.String() {
+			t.Fatalf("round trip changed query: %q -> %q", q.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tvq/internal/objset"
+	"tvq/internal/snapshot"
+	"tvq/internal/vr"
+)
+
+// Generator state codecs. A generator's complete incremental state —
+// states with their frame sets and key-frame marks, the window buffer,
+// and for SSG the whole graph — is serialized so a restored generator
+// continues bit-identically. Maps are written in sorted order so the
+// encoding is deterministic; decoding validates structural invariants
+// (sorted sets, in-range graph indices, reciprocal edges) and returns
+// errors, never panics, on malformed input.
+
+// Generator kind tags in the wire format.
+const (
+	genKindNaive = "naive"
+	genKindMFS   = "mfs"
+	genKindSSG   = "ssg"
+)
+
+// EncodeGenerator serializes g's full state. Only the three paper
+// strategies are supported; the test-only Oracle is rejected.
+func EncodeGenerator(w *snapshot.Writer, g Generator) error {
+	switch g := g.(type) {
+	case *Naive:
+		w.String(genKindNaive)
+		g.table.encode(w)
+		return nil
+	case *MFS:
+		w.String(genKindMFS)
+		g.table.encode(w)
+		return nil
+	case *SSG:
+		w.String(genKindSSG)
+		return g.encode(w)
+	default:
+		return fmt.Errorf("core: cannot snapshot generator %T", g)
+	}
+}
+
+// DecodeGenerator reconstructs a generator serialized by
+// EncodeGenerator, using cfg for the window parameters (and the
+// Terminate predicate, which closures cannot be serialized and must be
+// rebuilt by the caller exactly as at construction time).
+func DecodeGenerator(r *snapshot.Reader, cfg Config) (Generator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	kind := r.String()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case genKindNaive:
+		t := newTable(cfg, false)
+		if err := t.decode(r); err != nil {
+			return nil, err
+		}
+		return &Naive{*t}, nil
+	case genKindMFS:
+		t := newTable(cfg, true)
+		if err := t.decode(r); err != nil {
+			return nil, err
+		}
+		return &MFS{*t}, nil
+	case genKindSSG:
+		g := NewSSG(cfg)
+		if err := g.decode(r); err != nil {
+			return nil, err
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("core: unknown generator kind %q in snapshot", kind)
+	}
+}
+
+// encodeSet writes an object set as count + ascending ids.
+func encodeSet(w *snapshot.Writer, s objset.Set) {
+	ids := s.IDs()
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Uvarint(uint64(id))
+	}
+}
+
+// decodeSet reads an object set, verifying the strictly-increasing
+// invariant objset.FromSorted would otherwise panic on.
+func decodeSet(r *snapshot.Reader) objset.Set {
+	n := r.Count(1)
+	if n == 0 {
+		return objset.Set{}
+	}
+	ids := make([]objset.ID, n)
+	for i := range ids {
+		v := r.Uvarint()
+		if v > math.MaxUint32 {
+			r.Fail("object id %d overflows uint32", v)
+			return objset.Set{}
+		}
+		ids[i] = objset.ID(v)
+		if i > 0 && ids[i-1] >= ids[i] {
+			r.Fail("object ids not strictly increasing: %d then %d", ids[i-1], ids[i])
+			return objset.Set{}
+		}
+	}
+	if r.Err() != nil {
+		return objset.Set{}
+	}
+	return objset.FromSorted(ids)
+}
+
+// encodeState writes one state: object set, frame entries with marks,
+// rest-closure blockers, termination flag.
+func encodeState(w *snapshot.Writer, s *State) {
+	encodeSet(w, s.Objects)
+	w.Uvarint(uint64(len(s.frames.entries)))
+	for _, e := range s.frames.entries {
+		w.Varint(e.fid)
+		w.Bool(e.marked)
+	}
+	w.Bool(s.hasExtra)
+	if s.hasExtra {
+		encodeSet(w, s.extra)
+	}
+	w.Bool(s.terminated)
+}
+
+func decodeState(r *snapshot.Reader) *State {
+	s := &State{Objects: decodeSet(r)}
+	n := r.Count(2)
+	s.frames.entries = make([]frameEntry, 0, n)
+	for i := 0; i < n; i++ {
+		fid := r.Varint()
+		marked := r.Bool()
+		if i > 0 && s.frames.entries[i-1].fid >= fid {
+			r.Fail("state frame ids not strictly increasing: %d then %d", s.frames.entries[i-1].fid, fid)
+			return s
+		}
+		s.frames.entries = append(s.frames.entries, frameEntry{fid: fid, marked: marked})
+		if marked {
+			s.frames.marks++
+		}
+	}
+	s.hasExtra = r.Bool()
+	if s.hasExtra {
+		s.extra = decodeSet(r)
+	}
+	s.terminated = r.Bool()
+	return s
+}
+
+func encodeMetrics(w *snapshot.Writer, m Metrics) {
+	w.Int(m.FramesProcessed)
+	w.Int(m.StatesCreated)
+	w.Int(m.StatesPruned)
+	w.Int(m.StatesTerminated)
+	w.Varint(m.Intersections)
+	w.Varint(m.StatesVisited)
+}
+
+func decodeMetrics(r *snapshot.Reader) Metrics {
+	return Metrics{
+		FramesProcessed:  r.Int(),
+		StatesCreated:    r.Int(),
+		StatesPruned:     r.Int(),
+		StatesTerminated: r.Int(),
+		Intersections:    r.Varint(),
+		StatesVisited:    r.Varint(),
+	}
+}
+
+// encodeWindow writes a frame-id → object-set buffer in fid order.
+func encodeWindow(w *snapshot.Writer, window map[vr.FrameID]objset.Set) {
+	fids := make([]vr.FrameID, 0, len(window))
+	for fid := range window {
+		fids = append(fids, fid)
+	}
+	sort.Slice(fids, func(i, j int) bool { return fids[i] < fids[j] })
+	w.Uvarint(uint64(len(fids)))
+	for _, fid := range fids {
+		w.Varint(fid)
+		encodeSet(w, window[fid])
+	}
+}
+
+func decodeWindow(r *snapshot.Reader, window map[vr.FrameID]objset.Set) {
+	n := r.Count(2)
+	var prev vr.FrameID
+	for i := 0; i < n; i++ {
+		fid := r.Varint()
+		if i > 0 && fid <= prev {
+			r.Fail("window frame ids not strictly increasing: %d then %d", prev, fid)
+			return
+		}
+		prev = fid
+		window[fid] = decodeSet(r)
+		if r.Err() != nil {
+			return
+		}
+	}
+}
+
+// encode writes the flat table shared by Naive and MFS. cfg and useMarks
+// are reconstructed by the caller, not serialized.
+func (t *table) encode(w *snapshot.Writer) {
+	w.Varint(t.next)
+	encodeMetrics(w, t.metrics)
+	encodeWindow(w, t.window)
+	keys := make([]string, 0, len(t.states))
+	for k := range t.states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		encodeState(w, t.states[k])
+	}
+}
+
+func (t *table) decode(r *snapshot.Reader) error {
+	t.next = r.Varint()
+	t.metrics = decodeMetrics(r)
+	decodeWindow(r, t.window)
+	n := r.Count(2)
+	for i := 0; i < n; i++ {
+		s := decodeState(r)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		k := s.Objects.Key()
+		if _, dup := t.states[k]; dup {
+			r.Fail("duplicate state for object set %s", s.Objects)
+			return r.Err()
+		}
+		t.states[k] = s
+	}
+	return r.Err()
+}
+
+// encode writes the strict state graph: every live node (in canonical
+// object-set-key order) with its edges by node index, then the traversal
+// root order, the principal-state order, and the previous result set.
+// Entries of rootOrder and principals that the lazy compaction would
+// drop anyway (dead or re-parented nodes, expired principals) are
+// skipped, which is exactly the state liveRoots/refreshPrincipals would
+// leave behind.
+func (g *SSG) encode(w *snapshot.Writer) error {
+	w.Varint(g.next)
+	encodeMetrics(w, g.metrics)
+	encodeWindow(w, g.window)
+
+	keys := make([]string, 0, len(g.nodes))
+	for k := range g.nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	idx := make(map[*ssgNode]int, len(keys))
+	for i, k := range keys {
+		idx[g.nodes[k]] = i
+	}
+	writeEdges := func(nodes []*ssgNode) error {
+		w.Uvarint(uint64(len(nodes)))
+		for _, n := range nodes {
+			i, ok := idx[n]
+			if !ok {
+				return fmt.Errorf("core: ssg edge to node outside graph (%s)", n.state.Objects)
+			}
+			w.Uvarint(uint64(i))
+		}
+		return nil
+	}
+
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		n := g.nodes[k]
+		encodeState(w, n.state)
+		w.Varint(n.visited)
+		w.Varint(n.createdAt)
+		w.Uvarint(uint64(len(n.createdBy)))
+		for _, fid := range n.createdBy {
+			w.Varint(fid)
+		}
+		if err := writeEdges(n.children); err != nil {
+			return err
+		}
+		if err := writeEdges(n.parents); err != nil {
+			return err
+		}
+	}
+
+	var roots []*ssgNode
+	for _, n := range g.rootOrder {
+		if !n.dead && len(n.parents) == 0 {
+			roots = append(roots, n)
+		}
+	}
+	if err := writeEdges(roots); err != nil {
+		return err
+	}
+	var principals []*ssgNode
+	for _, n := range g.principals {
+		if !n.dead && len(n.createdBy) > 0 {
+			principals = append(principals, n)
+		}
+	}
+	if err := writeEdges(principals); err != nil {
+		return err
+	}
+	results := make([]*ssgNode, 0, len(g.prevResults))
+	for n := range g.prevResults {
+		results = append(results, n)
+	}
+	sort.Slice(results, func(i, j int) bool { return idx[results[i]] < idx[results[j]] })
+	return writeEdges(results)
+}
+
+func (g *SSG) decode(r *snapshot.Reader) error {
+	g.next = r.Varint()
+	g.metrics = decodeMetrics(r)
+	decodeWindow(r, g.window)
+
+	count := r.Count(4)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	nodes := make([]*ssgNode, count)
+	children := make([][]int, count)
+	parents := make([][]int, count)
+	readEdges := func() []int {
+		n := r.Count(1)
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			e := int(r.Uvarint())
+			if e < 0 || e >= count {
+				r.Fail("node index %d out of range [0, %d)", e, count)
+				return nil
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+
+	for i := 0; i < count; i++ {
+		n := &ssgNode{state: decodeState(r)}
+		n.visited = r.Varint()
+		n.createdAt = r.Varint()
+		nc := r.Count(1)
+		n.createdBy = make([]vr.FrameID, 0, nc)
+		for j := 0; j < nc; j++ {
+			fid := r.Varint()
+			if j > 0 && n.createdBy[j-1] >= fid {
+				r.Fail("principal frames not strictly increasing: %d then %d", n.createdBy[j-1], fid)
+				return r.Err()
+			}
+			n.createdBy = append(n.createdBy, fid)
+		}
+		children[i] = readEdges()
+		parents[i] = readEdges()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		k := n.state.Objects.Key()
+		if _, dup := g.nodes[k]; dup {
+			r.Fail("duplicate ssg node for object set %s", n.state.Objects)
+			return r.Err()
+		}
+		nodes[i] = n
+		g.nodes[k] = n
+	}
+
+	// Link edges and verify that the recorded children and parents lists
+	// describe the same edge set, so a crafted payload cannot smuggle in
+	// a one-sided edge that later corrupts traversal.
+	edges := make(map[[2]int]int)
+	for i, n := range nodes {
+		for _, c := range children[i] {
+			n.children = append(n.children, nodes[c])
+			edges[[2]int{i, c}]++
+		}
+	}
+	for j, n := range nodes {
+		for _, p := range parents[j] {
+			n.parents = append(n.parents, nodes[p])
+			key := [2]int{p, j}
+			edges[key]--
+			if edges[key] == 0 {
+				delete(edges, key)
+			}
+		}
+	}
+	if len(edges) != 0 {
+		r.Fail("ssg children and parents lists disagree on %d edges", len(edges))
+		return r.Err()
+	}
+
+	for _, i := range readEdges() {
+		n := nodes[i]
+		if n.onRootList {
+			r.Fail("node %d appears twice in root order", i)
+			return r.Err()
+		}
+		n.onRootList = true
+		g.rootOrder = append(g.rootOrder, n)
+	}
+	for _, i := range readEdges() {
+		g.principals = append(g.principals, nodes[i])
+	}
+	for _, i := range readEdges() {
+		g.prevResults[nodes[i]] = true
+	}
+	return r.Err()
+}

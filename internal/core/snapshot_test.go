@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tvq/internal/objset"
+	"tvq/internal/snapshot"
+	"tvq/internal/vr"
+)
+
+// randomCoreFrames builds a random object stream for generator tests.
+func randomCoreFrames(rng *rand.Rand, frames, maxObjects int) []vr.Frame {
+	out := make([]vr.Frame, frames)
+	alive := make(map[objset.ID]bool)
+	for fid := 0; fid < frames; fid++ {
+		for id := objset.ID(0); id < objset.ID(maxObjects); id++ {
+			switch {
+			case alive[id] && rng.Float64() < 0.2:
+				delete(alive, id)
+			case !alive[id] && rng.Float64() < 0.25:
+				alive[id] = true
+			}
+		}
+		var ids []objset.ID
+		for id := range alive {
+			ids = append(ids, id)
+		}
+		out[fid] = vr.Frame{FID: vr.FrameID(fid), Objects: objset.New(ids...)}
+	}
+	return out
+}
+
+func statesString(states []*State) string {
+	parts := make([]string, len(states))
+	for i, s := range states {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " ; ")
+}
+
+// TestGeneratorSnapshotResume snapshots every generator kind mid-stream,
+// restores it, and verifies the resumed run emits exactly what the
+// uninterrupted run emits, frame by frame.
+func TestGeneratorSnapshotResume(t *testing.T) {
+	kinds := []struct {
+		name string
+		make func(Config) Generator
+	}{
+		{"naive", func(c Config) Generator { return NewNaive(c) }},
+		{"mfs", func(c Config) Generator { return NewMFS(c) }},
+		{"ssg", func(c Config) Generator { return NewSSG(c) }},
+	}
+	configs := []Config{
+		{Window: 1, Duration: 1},
+		{Window: 5, Duration: 2},
+		{Window: 8, Duration: 4},
+	}
+	for _, kind := range kinds {
+		for _, cfg := range configs {
+			t.Run(fmt.Sprintf("%s/w%d-d%d", kind.name, cfg.Window, cfg.Duration), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				frames := randomCoreFrames(rng, 60, 8)
+				cut := 29
+
+				full := kind.make(cfg)
+				resumed := kind.make(cfg)
+				for _, f := range frames[:cut] {
+					full.Process(f)
+					resumed.Process(f)
+				}
+
+				var w snapshot.Writer
+				if err := EncodeGenerator(&w, resumed); err != nil {
+					t.Fatal(err)
+				}
+				restored, err := DecodeGenerator(snapshot.NewReader(w.Bytes()), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if restored.Name() != full.Name() {
+					t.Fatalf("restored kind %q, want %q", restored.Name(), full.Name())
+				}
+				if restored.StateCount() != resumed.StateCount() {
+					t.Fatalf("restored StateCount = %d, want %d", restored.StateCount(), resumed.StateCount())
+				}
+
+				for _, f := range frames[cut:] {
+					want := statesString(full.Process(f))
+					got := statesString(restored.Process(f))
+					if got != want {
+						t.Fatalf("frame %d diverged after restore:\n got  %s\n want %s", f.FID, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEncodeGeneratorDeterministic verifies the encoding is stable: two
+// snapshots of the same state are byte-identical (internal maps must be
+// serialized in canonical order).
+func TestEncodeGeneratorDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	frames := randomCoreFrames(rng, 40, 7)
+	for _, g := range []Generator{
+		NewNaive(Config{Window: 6, Duration: 3}),
+		NewMFS(Config{Window: 6, Duration: 3}),
+		NewSSG(Config{Window: 6, Duration: 3}),
+	} {
+		for _, f := range frames {
+			g.Process(f)
+		}
+		var a, b snapshot.Writer
+		if err := EncodeGenerator(&a, g); err != nil {
+			t.Fatal(err)
+		}
+		if err := EncodeGenerator(&b, g); err != nil {
+			t.Fatal(err)
+		}
+		if string(a.Bytes()) != string(b.Bytes()) {
+			t.Errorf("%s: two encodings of the same state differ", g.Name())
+		}
+	}
+}
+
+// TestDecodeGeneratorRejectsGarbage feeds malformed payloads to the
+// decoder and requires errors, never panics.
+func TestDecodeGeneratorRejectsGarbage(t *testing.T) {
+	cfg := Config{Window: 5, Duration: 2}
+
+	g := NewSSG(cfg)
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range randomCoreFrames(rng, 25, 6) {
+		g.Process(f)
+	}
+	var w snapshot.Writer
+	if err := EncodeGenerator(&w, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := w.Bytes()
+
+	// Every truncation of a valid payload must error cleanly.
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := DecodeGenerator(snapshot.NewReader(valid[:cut]), cfg); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+
+	// Unknown kind tag.
+	var bad snapshot.Writer
+	bad.String("zipper")
+	if _, err := DecodeGenerator(snapshot.NewReader(bad.Bytes()), cfg); err == nil || !strings.Contains(err.Error(), "unknown generator kind") {
+		t.Errorf("unknown kind: err = %v", err)
+	}
+
+	// Oracle cannot be snapshotted.
+	var ow snapshot.Writer
+	if err := EncodeGenerator(&ow, NewOracle(cfg)); err == nil {
+		t.Error("EncodeGenerator accepted the Oracle")
+	}
+}

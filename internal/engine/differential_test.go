@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tvq/internal/cnf"
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Cross-strategy differential harness: randomized traces and query sets
+// run through Naive, MFS and SSG must produce identical match streams.
+// Every generated workload lives in a subtest named by its seed, so a
+// failure reproduces with one line:
+//
+//	go test -run 'TestDifferentialStrategies/seed=1017' ./internal/engine
+//
+// The generator leans on adversarial shapes the incremental strategies
+// are sensitive to: objects flickering in and out (marks expiring),
+// empty frames, identical consecutive frames (principal-state reuse),
+// bursts that create deep SSG subtrees, and window/duration extremes
+// including single-frame windows.
+
+const differentialTraces = 60 // acceptance floor is 50
+
+// classNames is the class domain of generated workloads.
+var classNames = []string{"person", "car", "truck", "bus"}
+
+// randomDiffTrace builds a trace with adversarial temporal structure.
+func randomDiffTrace(rng *rand.Rand) *vr.Trace {
+	frames := 30 + rng.Intn(90)
+	nobjects := 3 + rng.Intn(12)
+	classes := make(map[objset.ID]vr.Class, nobjects)
+	for id := 0; id < nobjects; id++ {
+		classes[objset.ID(id)] = vr.Class(rng.Intn(len(classNames)))
+	}
+
+	alive := make(map[objset.ID]bool)
+	pAppear := 0.1 + rng.Float64()*0.3
+	pVanish := 0.05 + rng.Float64()*0.3
+	var sets []objset.Set
+	var prev objset.Set
+	for fid := 0; fid < frames; fid++ {
+		switch {
+		case fid > 0 && rng.Float64() < 0.1:
+			// Repeat the previous frame exactly: co-occurrence folding
+			// and principal-state reuse paths.
+			sets = append(sets, prev)
+			continue
+		case rng.Float64() < 0.07:
+			// Empty frame: nothing co-occurs, windows still slide.
+			alive = make(map[objset.ID]bool)
+			prev = objset.Set{}
+			sets = append(sets, prev)
+			continue
+		}
+		for id := objset.ID(0); id < objset.ID(nobjects); id++ {
+			if alive[id] {
+				if rng.Float64() < pVanish {
+					delete(alive, id)
+				}
+			} else if rng.Float64() < pAppear {
+				alive[id] = true
+			}
+		}
+		ids := make([]objset.ID, 0, len(alive))
+		for id := range alive {
+			ids = append(ids, id)
+		}
+		prev = objset.New(ids...)
+		sets = append(sets, prev)
+	}
+	return vr.NewTraceFromFrames(sets, classes)
+}
+
+// randomDiffQueries builds 1–4 queries over the class domain, with a
+// mix of operators, OR clauses, identity constraints, and occasional
+// shared windows (so engines exercise multi-query groups).
+func randomDiffQueries(rng *rand.Rand, nobjects int) []cnf.Query {
+	n := 1 + rng.Intn(4)
+	var out []cnf.Query
+	var sharedWindow int
+	for i := 0; i < n; i++ {
+		window := 1 + rng.Intn(20)
+		if sharedWindow > 0 && rng.Float64() < 0.4 {
+			window = sharedWindow
+		}
+		sharedWindow = window
+		duration := 1 + rng.Intn(window)
+		q := cnf.Query{ID: i + 1, Window: window, Duration: duration}
+		nclauses := 1 + rng.Intn(3)
+		for c := 0; c < nclauses; c++ {
+			nconds := 1 + rng.Intn(2)
+			var d cnf.Disjunction
+			for k := 0; k < nconds; k++ {
+				if rng.Float64() < 0.08 {
+					d = append(d, cnf.Condition{Identity: true, N: rng.Intn(nobjects + 2)})
+					continue
+				}
+				d = append(d, cnf.Condition{
+					Label: classNames[rng.Intn(len(classNames))],
+					Op:    cnf.Op(rng.Intn(3)),
+					N:     rng.Intn(4),
+				})
+			}
+			q.Clauses = append(q.Clauses, d)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// diffRun produces the flattened match stream of one method.
+func diffRun(t *testing.T, tr *vr.Trace, qs []cnf.Query, opts Options) []string {
+	t.Helper()
+	eng, err := New(qs, opts)
+	if err != nil {
+		t.Fatalf("New(%v): %v", opts.Method, err)
+	}
+	var out []string
+	for _, f := range tr.Frames() {
+		for _, m := range eng.ProcessFrame(f) {
+			out = append(out, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+		}
+	}
+	return out
+}
+
+func TestDifferentialStrategies(t *testing.T) {
+	matched := 0
+	for i := 0; i < differentialTraces; i++ {
+		seed := int64(1000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomDiffTrace(rng)
+			qs := randomDiffQueries(rng, 14)
+			wm := Sliding
+			if rng.Float64() < 0.3 {
+				wm = Tumbling
+			}
+
+			want := diffRun(t, tr, qs, Options{Method: MethodNaive, Windows: wm})
+			for _, method := range []Method{MethodMFS, MethodSSG} {
+				got := diffRun(t, tr, qs, Options{Method: method, Windows: wm})
+				if !equalStrings(got, want) {
+					t.Errorf("seed %d: %s diverges from naive (%d vs %d matches): %s\nrepro: go test -run 'TestDifferentialStrategies/seed=%d' ./internal/engine",
+						seed, method, len(got), len(want), firstDiff(got, want), seed)
+				}
+			}
+			matched += len(want)
+		})
+	}
+	// The harness is only meaningful if the workloads actually produce
+	// matches; an accidental generator regression to all-empty streams
+	// would otherwise pass silently.
+	if matched == 0 {
+		t.Fatal("no generated workload produced any match; harness is vacuous")
+	}
+}
+
+// TestDifferentialPruning extends the harness to the §5.3 result-driven
+// pruning strategy: for ≥-only query sets, pruned and unpruned runs of
+// every method must agree.
+func TestDifferentialPruning(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		seed := int64(9000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomDiffTrace(rng)
+			// ≥-only queries (Proposition 1's precondition).
+			qs := randomDiffQueries(rng, 14)
+			for qi := range qs {
+				for ci := range qs[qi].Clauses {
+					for ki := range qs[qi].Clauses[ci] {
+						qs[qi].Clauses[ci][ki].Op = cnf.GE
+					}
+				}
+			}
+			want := diffRun(t, tr, qs, Options{Method: MethodNaive})
+			for _, method := range []Method{MethodNaive, MethodMFS, MethodSSG} {
+				got := diffRun(t, tr, qs, Options{Method: method, Prune: true})
+				if !equalStrings(got, want) {
+					t.Errorf("seed %d: pruned %s diverges (%d vs %d matches): %s\nrepro: go test -run 'TestDifferentialPruning/seed=%d' ./internal/engine",
+						seed, method, len(got), len(want), firstDiff(got, want), seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSnapshotResume folds the checkpoint subsystem into the
+// harness: for random workloads and all three methods, snapshotting at a
+// random cut and resuming must reproduce the uninterrupted stream.
+func TestDifferentialSnapshotResume(t *testing.T) {
+	for i := 0; i < 15; i++ {
+		seed := int64(4000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomDiffTrace(rng)
+			qs := randomDiffQueries(rng, 14)
+			cut := rng.Intn(tr.Len())
+			for _, method := range []Method{MethodNaive, MethodMFS, MethodSSG} {
+				opts := Options{Method: method}
+				want := diffRun(t, tr, qs, opts)
+
+				eng, err := New(qs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []string
+				for _, f := range tr.Frames()[:cut] {
+					for _, m := range eng.ProcessFrame(f) {
+						got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+					}
+				}
+				restored := snapshotRoundTrip(t, eng)
+				for _, f := range tr.Frames()[cut:] {
+					for _, m := range restored.ProcessFrame(f) {
+						got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+					}
+				}
+				if !equalStrings(got, want) {
+					t.Errorf("seed %d: %s resume at %d diverges: %s\nrepro: go test -run 'TestDifferentialSnapshotResume/seed=%d' ./internal/engine",
+						seed, method, cut, firstDiff(got, want), seed)
+				}
+			}
+		})
+	}
+}

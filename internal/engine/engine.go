@@ -125,17 +125,26 @@ func (e *Engine) newGroup(queries []cnf.Query) (*group, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{Window: ev.Window(), Duration: ev.MinDuration()}
-	if e.opts.Prune {
-		cfg.Terminate = ev.TerminatePredicate(e.classOf)
-	}
-	gen, err := newGenerator(e.opts.Method, cfg)
+	gen, err := newGenerator(e.opts.Method, e.groupConfig(ev))
 	if err != nil {
 		return nil, err
 	}
 	g := &group{window: ev.Window(), eval: ev, gen: gen}
 	e.setClassFilter(g)
 	return g, nil
+}
+
+// groupConfig derives a group's generator configuration from its
+// evaluator: the group's window, the minimum duration push-down, and —
+// under §5.3 pruning — the termination predicate. Snapshot restore uses
+// the same derivation so a restored group's generator behaves exactly
+// like the one it replaces.
+func (e *Engine) groupConfig(ev *query.Evaluator) core.Config {
+	cfg := core.Config{Window: ev.Window(), Duration: ev.MinDuration()}
+	if e.opts.Prune {
+		cfg.Terminate = ev.TerminatePredicate(e.classOf)
+	}
+	return cfg
 }
 
 // setClassFilter installs the §3 class push-down unless disabled or the
@@ -257,3 +266,11 @@ func (e *Engine) StateCount() int {
 
 // Groups returns the number of window groups.
 func (e *Engine) Groups() int { return len(e.groups) }
+
+// NextFID returns the id of the next frame the engine expects — equal to
+// the number of feed frames processed so far. After a snapshot restore
+// it tells the caller where to resume the feed.
+func (e *Engine) NextFID() vr.FrameID { return e.next }
+
+// Method returns the state maintenance strategy the engine runs.
+func (e *Engine) Method() Method { return e.opts.Method }

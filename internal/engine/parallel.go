@@ -117,6 +117,18 @@ type poolJob struct {
 // most Workers engines; in ShardByFeed mode every feed gets a full
 // engine over all queries, created on the feed's first frame.
 func NewPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
+	p, err := buildPool(queries, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.start()
+	return p, nil
+}
+
+// buildPool constructs the pool and its workers without launching any
+// goroutine, so snapshot restore can install restored engines into the
+// workers before they start running; start launches the worker loops.
+func buildPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -165,6 +177,11 @@ func NewPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
 		}
 		p.workers = append(p.workers, w)
 	}
+	return p, nil
+}
+
+// start launches the worker goroutines; the pool is usable afterwards.
+func (p *Pool) start() {
 	for _, w := range p.workers {
 		p.wg.Add(1)
 		go func() {
@@ -172,7 +189,6 @@ func NewPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
 			w.run()
 		}()
 	}
-	return p, nil
 }
 
 // partitionByWindow groups queries by window size, orders the groups by
@@ -418,6 +434,21 @@ func (p *Pool) Stream(ctx context.Context, in <-chan FeedFrame) <-chan FeedResul
 
 // Workers returns the number of engine shards in the pool.
 func (p *Pool) Workers() int { return len(p.workers) }
+
+// Method returns the state maintenance strategy the pool's engines run.
+func (p *Pool) Method() Method {
+	if p.opts.Engine.Method == "" {
+		return MethodSSG
+	}
+	return p.opts.Engine.Method
+}
+
+// Queries returns the pool's query set, in registration order.
+func (p *Pool) Queries() []cnf.Query {
+	out := make([]cnf.Query, len(p.queries))
+	copy(out, p.queries)
+	return out
+}
 
 // StateCount reports the total number of live states across every engine
 // in the pool, for instrumentation. Call it only between ProcessBatch

@@ -1,0 +1,459 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"tvq/internal/cnf"
+	"tvq/internal/core"
+	"tvq/internal/objset"
+	"tvq/internal/query"
+	"tvq/internal/snapshot"
+	"tvq/internal/vr"
+)
+
+// Checkpoint/restore for engines and pools. A snapshot captures every
+// piece of incremental state — options, registry, the feed-wide
+// object→class table, the feed cursor, and for each window group its
+// queries (including dynamically added ones), group start offset, and
+// the complete generator state — framed by the versioned, checksummed
+// container of internal/snapshot. The restore contract is "restore then
+// continue": a restored engine emits exactly the matches the original
+// would have emitted had it never stopped.
+
+// Payload kind tags distinguishing engine from pool snapshots.
+const (
+	payloadEngine = "engine"
+	payloadPool   = "pool"
+)
+
+// SnapshotKind reports whether the snapshot in r holds an "engine" or a
+// "pool", verifying the container framing (magic, version, checksum)
+// along the way, so callers can route to Restore or RestorePool without
+// guessing. It consumes r.
+func SnapshotKind(r io.Reader) (string, error) {
+	payload, err := snapshot.Read(r)
+	if err != nil {
+		return "", err
+	}
+	sr := snapshot.NewReader(payload)
+	kind := sr.String()
+	if err := sr.Err(); err != nil {
+		return "", err
+	}
+	if kind != payloadEngine && kind != payloadPool {
+		return "", fmt.Errorf("engine: snapshot holds unknown state kind %q", kind)
+	}
+	return kind, nil
+}
+
+// Snapshot serializes the engine's complete state to w. The engine must
+// be quiescent (no concurrent ProcessFrame or active Stream); the engine
+// is not mutated and may continue processing afterwards.
+func (e *Engine) Snapshot(w io.Writer) error {
+	var sw snapshot.Writer
+	sw.String(payloadEngine)
+	if err := e.encode(&sw); err != nil {
+		return err
+	}
+	return snapshot.Write(w, sw.Bytes())
+}
+
+// Restore reconstructs an engine from a snapshot written by
+// Engine.Snapshot. Recorded options win; opts supplies the registry to
+// share with the caller's codecs (it must agree with the recorded class
+// names) and, when opts.Method is non-empty, a cross-check against the
+// recorded method. A corrupted, truncated or version-mismatched stream
+// returns a descriptive error.
+func Restore(r io.Reader, opts Options) (*Engine, error) {
+	payload, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	sr := snapshot.NewReader(payload)
+	kind := sr.String()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if kind != payloadEngine {
+		return nil, fmt.Errorf("engine: snapshot holds a %q, not an engine (use RestorePool for pool snapshots)", kind)
+	}
+	e, err := decodeEngine(sr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sr.Remaining() != 0 {
+		return nil, fmt.Errorf("engine: %d trailing bytes after engine state", sr.Remaining())
+	}
+	return e, nil
+}
+
+func (e *Engine) encode(sw *snapshot.Writer) error {
+	sw.String(string(e.opts.Method))
+	sw.Bool(e.opts.Prune)
+	sw.Bool(e.opts.KeepAllClasses)
+	sw.Int(int(e.opts.Windows))
+	encodeRegistry(sw, e.reg)
+	sw.Varint(e.next)
+
+	ids := make([]objset.ID, 0, len(e.classes))
+	for id := range e.classes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sw.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		sw.Uvarint(uint64(id))
+		sw.Uvarint(uint64(e.classes[id]))
+	}
+
+	sw.Uvarint(uint64(len(e.groups)))
+	for _, g := range e.groups {
+		sw.Varint(g.start)
+		encodeQueries(sw, g.eval.Queries())
+		if err := core.EncodeGenerator(sw, g.gen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeEngine(sr *snapshot.Reader, opts Options) (*Engine, error) {
+	method := Method(sr.String())
+	prune := sr.Bool()
+	keepAll := sr.Bool()
+	windows := WindowMode(sr.Int())
+	names := decodeRegistry(sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	switch method {
+	case MethodNaive, MethodMFS, MethodSSG:
+	default:
+		return nil, fmt.Errorf("engine: snapshot records unknown method %q", method)
+	}
+	if windows != Sliding && windows != Tumbling {
+		return nil, fmt.Errorf("engine: snapshot records unknown window mode %d", windows)
+	}
+	if opts.Method != "" && opts.Method != method {
+		return nil, fmt.Errorf("engine: snapshot was taken with method %q; cannot restore as %q", method, opts.Method)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = vr.NewRegistry(names...)
+	} else {
+		for i, name := range names {
+			if got := reg.Name(vr.Class(i)); got != name {
+				return nil, fmt.Errorf("engine: registry mismatch: snapshot class %d is %q, supplied registry has %q", i, name, got)
+			}
+		}
+	}
+
+	e := &Engine{
+		opts:    Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows},
+		reg:     reg,
+		classes: make(map[objset.ID]vr.Class),
+	}
+	e.classOf = func(id objset.ID) vr.Class { return e.classes[id] }
+	e.next = sr.Varint()
+	if e.next < 0 {
+		return nil, fmt.Errorf("engine: snapshot records negative frame cursor %d", e.next)
+	}
+
+	nclasses := sr.Count(2)
+	for i := 0; i < nclasses; i++ {
+		id := sr.Uvarint()
+		class := sr.Uvarint()
+		if id > math.MaxUint32 || class > math.MaxUint16 {
+			return nil, fmt.Errorf("engine: snapshot object %d / class %d out of range", id, class)
+		}
+		e.classes[objset.ID(id)] = vr.Class(class)
+	}
+
+	ngroups := sr.Count(1)
+	seen := make(map[int]bool, ngroups)
+	for i := 0; i < ngroups; i++ {
+		start := sr.Varint()
+		queries := decodeQueries(sr)
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		if start < 0 || start > e.next {
+			return nil, fmt.Errorf("engine: group %d start %d outside processed range [0, %d]", i, start, e.next)
+		}
+		ev, err := query.NewEvaluator(reg, queries)
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot group %d queries invalid: %w", i, err)
+		}
+		if seen[ev.Window()] {
+			return nil, fmt.Errorf("engine: snapshot has two groups for window %d", ev.Window())
+		}
+		seen[ev.Window()] = true
+		gen, err := core.DecodeGenerator(sr, e.groupConfig(ev))
+		if err != nil {
+			return nil, err
+		}
+		if want := generatorName(method); gen.Name() != want {
+			return nil, fmt.Errorf("engine: snapshot group %d holds a %s generator, method %q needs %s", i, gen.Name(), method, want)
+		}
+		g := &group{window: ev.Window(), eval: ev, gen: gen, start: start}
+		e.setClassFilter(g)
+		e.groups = append(e.groups, g)
+	}
+	return e, sr.Err()
+}
+
+func generatorName(m Method) string {
+	switch m {
+	case MethodNaive:
+		return "NAIVE"
+	case MethodMFS:
+		return "MFS"
+	default:
+		return "SSG"
+	}
+}
+
+func encodeRegistry(sw *snapshot.Writer, reg *vr.Registry) {
+	names := reg.Names()
+	sw.Uvarint(uint64(len(names)))
+	for _, n := range names {
+		sw.String(n)
+	}
+}
+
+func decodeRegistry(sr *snapshot.Reader) []string {
+	n := sr.Count(1)
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, sr.String())
+	}
+	return names
+}
+
+func encodeQueries(sw *snapshot.Writer, qs []cnf.Query) {
+	sw.Uvarint(uint64(len(qs)))
+	for _, q := range qs {
+		sw.Int(q.ID)
+		sw.Int(q.Window)
+		sw.Int(q.Duration)
+		sw.Uvarint(uint64(len(q.Clauses)))
+		for _, d := range q.Clauses {
+			sw.Uvarint(uint64(len(d)))
+			for _, c := range d {
+				sw.Bool(c.Identity)
+				sw.String(c.Label)
+				sw.Int(int(c.Op))
+				sw.Int(c.N)
+			}
+		}
+	}
+}
+
+func decodeQueries(sr *snapshot.Reader) []cnf.Query {
+	n := sr.Count(3)
+	qs := make([]cnf.Query, 0, n)
+	for i := 0; i < n; i++ {
+		q := cnf.Query{ID: sr.Int(), Window: sr.Int(), Duration: sr.Int()}
+		nc := sr.Count(1)
+		for j := 0; j < nc; j++ {
+			nd := sr.Count(4)
+			d := make(cnf.Disjunction, 0, nd)
+			for k := 0; k < nd; k++ {
+				c := cnf.Condition{Identity: sr.Bool(), Label: sr.String()}
+				c.Op = cnf.Op(sr.Int())
+				c.N = sr.Int()
+				d = append(d, c)
+			}
+			q.Clauses = append(q.Clauses, d)
+		}
+		if sr.Err() != nil {
+			return nil
+		}
+		if err := q.Validate(); err != nil {
+			sr.Fail("invalid query in snapshot: %v", err)
+			return nil
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// Snapshot serializes the pool's complete state: options, queries, and
+// every shard engine (per window-group shard, or per feed). Call it only
+// between ProcessBatch calls or after a stream has ended — like
+// StateCount it reads worker-owned engines, which is safe exactly when
+// no batch is in flight.
+func (p *Pool) Snapshot(w io.Writer) error {
+	var sw snapshot.Writer
+	sw.String(payloadPool)
+	sw.Int(int(p.opts.Mode))
+	sw.Int(len(p.workers))
+	sw.Int(p.opts.Batch)
+	encodeQueries(&sw, p.queries)
+
+	engOpts := p.opts.Engine
+	if engOpts.Method == "" {
+		engOpts.Method = MethodSSG
+	}
+	if engOpts.Registry == nil {
+		engOpts.Registry = vr.StandardRegistry()
+	}
+	sw.String(string(engOpts.Method))
+	sw.Bool(engOpts.Prune)
+	sw.Bool(engOpts.KeepAllClasses)
+	sw.Int(int(engOpts.Windows))
+	encodeRegistry(&sw, engOpts.Registry)
+
+	if p.opts.Mode == ShardByGroup {
+		for _, w := range p.workers {
+			if err := w.eng.encode(&sw); err != nil {
+				return err
+			}
+		}
+	} else {
+		type feedEngine struct {
+			feed FeedID
+			eng  *Engine
+		}
+		var all []feedEngine
+		for _, w := range p.workers {
+			for feed, eng := range w.feeds {
+				all = append(all, feedEngine{feed, eng})
+			}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].feed < all[j].feed })
+		sw.Uvarint(uint64(len(all)))
+		for _, fe := range all {
+			sw.Varint(int64(fe.feed))
+			if err := fe.eng.encode(&sw); err != nil {
+				return err
+			}
+		}
+	}
+	return snapshot.Write(w, sw.Bytes())
+}
+
+// RestorePool reconstructs a pool from a snapshot written by
+// Pool.Snapshot. The recorded worker count, shard mode and batch size
+// win — they shaped the sharding the engines' state depends on — and
+// non-zero fields of opts that disagree with the recording return a
+// descriptive error. opts.Engine.Registry, when set, is shared with the
+// restored engines after a compatibility check.
+func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
+	payload, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	sr := snapshot.NewReader(payload)
+	kind := sr.String()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if kind != payloadPool {
+		return nil, fmt.Errorf("engine: snapshot holds a %q, not a pool (use Restore for engine snapshots)", kind)
+	}
+
+	mode := ShardMode(sr.Int())
+	workers := sr.Int()
+	batch := sr.Int()
+	queries := decodeQueries(sr)
+	method := Method(sr.String())
+	prune := sr.Bool()
+	keepAll := sr.Bool()
+	windows := WindowMode(sr.Int())
+	names := decodeRegistry(sr)
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	if mode != ShardByFeed && mode != ShardByGroup {
+		return nil, fmt.Errorf("engine: snapshot records unknown shard mode %d", mode)
+	}
+	if workers < 1 || batch < 1 {
+		return nil, fmt.Errorf("engine: snapshot records invalid pool shape (%d workers, batch %d)", workers, batch)
+	}
+	if opts.Workers > 0 && opts.Workers != workers {
+		return nil, fmt.Errorf("engine: snapshot was taken with %d workers; cannot restore with %d", workers, opts.Workers)
+	}
+	if opts.Batch > 0 && opts.Batch != batch {
+		return nil, fmt.Errorf("engine: snapshot was taken with batch %d; cannot restore with %d", batch, opts.Batch)
+	}
+	if opts.Mode != mode && opts.Mode != ShardByFeed {
+		return nil, fmt.Errorf("engine: snapshot was taken in shard mode %d; cannot restore in mode %d", mode, opts.Mode)
+	}
+	if opts.Engine.Method != "" && opts.Engine.Method != method {
+		return nil, fmt.Errorf("engine: snapshot was taken with method %q; cannot restore as %q", method, opts.Engine.Method)
+	}
+	reg := opts.Engine.Registry
+	if reg == nil {
+		reg = vr.NewRegistry(names...)
+	} else {
+		for i, name := range names {
+			if got := reg.Name(vr.Class(i)); got != name {
+				return nil, fmt.Errorf("engine: registry mismatch: snapshot class %d is %q, supplied registry has %q", i, name, got)
+			}
+		}
+	}
+
+	p, err := buildPool(queries, PoolOptions{
+		Workers: workers,
+		Mode:    mode,
+		Batch:   batch,
+		Engine:  Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(p.workers) != workers {
+		return nil, fmt.Errorf("engine: snapshot records %d shards but queries partition into %d", workers, len(p.workers))
+	}
+
+	if mode == ShardByGroup {
+		for _, w := range p.workers {
+			eng, err := decodeEngine(sr, Options{Registry: reg})
+			if err != nil {
+				return nil, err
+			}
+			w.eng = eng
+		}
+	} else {
+		nfeeds := sr.Count(1)
+		if err := sr.Err(); err != nil {
+			return nil, err
+		}
+		seen := make(map[FeedID]bool, nfeeds)
+		for i := 0; i < nfeeds; i++ {
+			feed := FeedID(sr.Varint())
+			if seen[feed] {
+				return nil, fmt.Errorf("engine: snapshot records feed %d twice", feed)
+			}
+			seen[feed] = true
+			eng, err := decodeEngine(sr, Options{Registry: reg})
+			if err != nil {
+				return nil, err
+			}
+			p.workers[p.shardOf(feed)].feeds[feed] = eng
+		}
+	}
+	if sr.Remaining() != 0 {
+		return nil, fmt.Errorf("engine: %d trailing bytes after pool state", sr.Remaining())
+	}
+	p.start()
+	return p, nil
+}
+
+// NextFID returns the id of the next frame the pool expects for feed —
+// where to resume the feed after a restore. In ShardByGroup mode the
+// pool serves a single feed and the feed argument is ignored. Like
+// StateCount, call it only between batches.
+func (p *Pool) NextFID(feed FeedID) vr.FrameID {
+	if p.opts.Mode == ShardByGroup {
+		return p.workers[0].eng.NextFID()
+	}
+	if eng, ok := p.workers[p.shardOf(feed)].feeds[feed]; ok {
+		return eng.NextFID()
+	}
+	return 0
+}

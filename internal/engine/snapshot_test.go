@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tvq/internal/cnf"
+	"tvq/internal/vr"
+)
+
+// TestEngineKillAndResume is the acceptance matrix for single engines:
+// for every method × window mode, snapshot mid-stream at several cut
+// points, restore, and require the concatenated match stream to be
+// identical to an uninterrupted run on the same trace.
+func TestEngineKillAndResume(t *testing.T) {
+	tr := smallTrace(t, 21)
+	qs := []cnf.Query{
+		mkQuery(t, 1, "car >= 1 AND person >= 1", 12, 6),
+		mkQuery(t, 2, "person >= 2", 18, 9),
+		mkQuery(t, 3, "(car >= 2 OR truck >= 1)", 12, 4),
+	}
+	for _, method := range []Method{MethodNaive, MethodMFS, MethodSSG} {
+		for _, wm := range []WindowMode{Sliding, Tumbling} {
+			wmName := "sliding"
+			if wm == Tumbling {
+				wmName = "tumbling"
+			}
+			t.Run(fmt.Sprintf("%s/%s", method, wmName), func(t *testing.T) {
+				opts := Options{Method: method, Windows: wm}
+				full, err := New(qs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []string
+				for _, f := range tr.Frames() {
+					for _, m := range full.ProcessFrame(f) {
+						want = append(want, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+					}
+				}
+				if len(want) == 0 {
+					t.Fatal("workload produced no matches; test is vacuous")
+				}
+
+				for _, cut := range []int{0, 1, tr.Len() / 3, tr.Len() / 2, tr.Len() - 1} {
+					eng, err := New(qs, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got []string
+					for _, f := range tr.Frames()[:cut] {
+						for _, m := range eng.ProcessFrame(f) {
+							got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+						}
+					}
+					var buf bytes.Buffer
+					if err := eng.Snapshot(&buf); err != nil {
+						t.Fatalf("cut %d: snapshot: %v", cut, err)
+					}
+					restored, err := Restore(&buf, Options{})
+					if err != nil {
+						t.Fatalf("cut %d: restore: %v", cut, err)
+					}
+					if restored.NextFID() != vr.FrameID(cut) {
+						t.Fatalf("cut %d: NextFID = %d", cut, restored.NextFID())
+					}
+					if restored.StateCount() != eng.StateCount() {
+						t.Fatalf("cut %d: StateCount %d != %d", cut, restored.StateCount(), eng.StateCount())
+					}
+					for _, f := range tr.Frames()[cut:] {
+						for _, m := range restored.ProcessFrame(f) {
+							got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+						}
+					}
+					if !equalStrings(got, want) {
+						t.Fatalf("cut %d: resumed stream diverged\n got %d matches\n want %d matches\nfirst diff: %s",
+							cut, len(got), len(want), firstDiff(got, want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineDoubleResume chains two kill/restore cycles, as a long
+// production run checkpointing repeatedly would.
+func TestEngineDoubleResume(t *testing.T) {
+	tr := smallTrace(t, 33)
+	qs := []cnf.Query{mkQuery(t, 1, "person >= 1 AND car >= 1", 15, 5)}
+	want := flatRun(t, tr, qs, Options{})
+
+	eng, err := New(qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	cuts := []int{tr.Len() / 4, tr.Len() / 2}
+	prev := 0
+	for _, cut := range cuts {
+		for _, f := range tr.Frames()[prev:cut] {
+			for _, m := range eng.ProcessFrame(f) {
+				got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+			}
+		}
+		var buf bytes.Buffer
+		if err := eng.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		eng, err = Restore(&buf, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = cut
+	}
+	for _, f := range tr.Frames()[prev:] {
+		for _, m := range eng.ProcessFrame(f) {
+			got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+		}
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("double resume diverged: %s", firstDiff(got, want))
+	}
+}
+
+// TestEngineSnapshotWithDynamicQueries snapshots an engine whose query
+// set changed at runtime (a dynamically added window group with a
+// non-zero start offset) and requires the restored engine to mirror an
+// uninterrupted engine with the same AddQuery schedule.
+func TestEngineSnapshotWithDynamicQueries(t *testing.T) {
+	tr := smallTrace(t, 9)
+	base := []cnf.Query{mkQuery(t, 1, "person >= 1", 10, 4)}
+	added := mkQuery(t, 2, "car >= 1", 16, 6)
+	addAt := 30
+	cut := 60
+
+	run := func() (*Engine, []string) {
+		eng, err := New(base, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, f := range tr.Frames()[:cut] {
+			if int(f.FID) == addAt {
+				if err := eng.AddQuery(added); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, m := range eng.ProcessFrame(f) {
+				out = append(out, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+			}
+		}
+		return eng, out
+	}
+
+	full, want := run()
+	for _, f := range tr.Frames()[cut:] {
+		for _, m := range full.ProcessFrame(f) {
+			want = append(want, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+		}
+	}
+
+	eng, got := run()
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Groups() != 2 {
+		t.Fatalf("restored Groups = %d, want 2", restored.Groups())
+	}
+	for _, f := range tr.Frames()[cut:] {
+		for _, m := range restored.ProcessFrame(f) {
+			got = append(got, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+		}
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("dynamic-query resume diverged: %s", firstDiff(got, want))
+	}
+}
+
+// snapshotRoundTrip serializes eng and restores it, failing the test on
+// any codec error.
+func snapshotRoundTrip(t *testing.T, eng *Engine) *Engine {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return restored
+}
+
+// flatRun runs the trace through a fresh engine and flattens the match
+// stream to comparable lines.
+func flatRun(t *testing.T, tr *vr.Trace, qs []cnf.Query, opts Options) []string {
+	t.Helper()
+	eng, err := New(qs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, f := range tr.Frames() {
+		for _, m := range eng.ProcessFrame(f) {
+			out = append(out, fmt.Sprintf("%d:%s", f.FID, matchKey(m)))
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func firstDiff(got, want []string) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("at %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch %d vs %d", len(got), len(want))
+}
+
+// poolResults flattens FeedResults for comparison.
+func poolResults(dst []string, rs []FeedResult) []string {
+	for _, r := range rs {
+		for _, m := range r.Matches {
+			dst = append(dst, fmt.Sprintf("f%d@%d:%s", r.Feed, r.FID, matchKey(m)))
+		}
+	}
+	return dst
+}
+
+// TestPoolKillAndResume covers both shard modes × all three methods:
+// snapshot between batches, restore, and require the concatenated
+// result stream to match an uninterrupted pool run.
+func TestPoolKillAndResume(t *testing.T) {
+	traces := []*vr.Trace{smallTrace(t, 41), smallTrace(t, 42), smallTrace(t, 43)}
+
+	build := func(mode ShardMode) (qs []cnf.Query, frames []FeedFrame) {
+		if mode == ShardByGroup {
+			qs = []cnf.Query{
+				mkQuery(t, 1, "person >= 1 AND car >= 1", 12, 6),
+				mkQuery(t, 2, "person >= 2", 18, 9),
+			}
+			for _, f := range traces[0].Frames() {
+				frames = append(frames, FeedFrame{Frame: f})
+			}
+			return qs, frames
+		}
+		qs = []cnf.Query{
+			mkQuery(t, 1, "person >= 1 AND car >= 1", 12, 6),
+			mkQuery(t, 2, "person >= 2", 12, 8),
+		}
+		for i := 0; i < traces[0].Len(); i++ {
+			for feed, tr := range traces {
+				if i < tr.Len() {
+					frames = append(frames, FeedFrame{Feed: FeedID(feed), Frame: tr.Frame(i)})
+				}
+			}
+		}
+		return qs, frames
+	}
+
+	for _, mode := range []ShardMode{ShardByFeed, ShardByGroup} {
+		modeName := "byfeed"
+		if mode == ShardByGroup {
+			modeName = "bygroup"
+		}
+		for _, method := range []Method{MethodNaive, MethodMFS, MethodSSG} {
+			t.Run(fmt.Sprintf("%s/%s", modeName, method), func(t *testing.T) {
+				qs, frames := build(mode)
+				popts := PoolOptions{Workers: 2, Mode: mode, Engine: Options{Method: method}}
+
+				full, err := NewPool(qs, popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer full.Close()
+				var want []string
+				for i := 0; i < len(frames); i += 50 {
+					end := min(i+50, len(frames))
+					want = poolResults(want, full.ProcessBatch(frames[i:end]))
+				}
+				if len(want) == 0 {
+					t.Fatal("workload produced no matches; test is vacuous")
+				}
+
+				cut := len(frames) / 2
+				if mode == ShardByFeed {
+					// Cut on a whole ingestion round so per-feed order holds.
+					cut -= cut % len(traces)
+				}
+				pool, err := NewPool(qs, popts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []string
+				got = poolResults(got, pool.ProcessBatch(frames[:cut]))
+				var buf bytes.Buffer
+				if err := pool.Snapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				pool.Close()
+
+				restored, err := RestorePool(&buf, PoolOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer restored.Close()
+				if restored.Workers() != 2 {
+					t.Fatalf("restored Workers = %d", restored.Workers())
+				}
+				if mode == ShardByGroup {
+					if next := restored.NextFID(0); next != vr.FrameID(cut) {
+						t.Fatalf("restored NextFID = %d, want %d", next, cut)
+					}
+				}
+				got = poolResults(got, restored.ProcessBatch(frames[cut:]))
+				if !equalStrings(got, want) {
+					t.Fatalf("pool resume diverged: %s", firstDiff(got, want))
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreRejectsCorruption covers the failure modes the snapshot
+// format must turn into descriptive errors.
+func TestRestoreRejectsCorruption(t *testing.T) {
+	tr := smallTrace(t, 5)
+	qs := []cnf.Query{mkQuery(t, 1, "person >= 1", 10, 4)}
+	eng, err := New(qs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tr.Frames()[:40] {
+		eng.ProcessFrame(f)
+	}
+	var buf bytes.Buffer
+	if err := eng.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	t.Run("bit flips", func(t *testing.T) {
+		for off := 20; off < len(valid); off += 97 {
+			b := append([]byte(nil), valid...)
+			b[off] ^= 0x20
+			if _, err := Restore(bytes.NewReader(b), Options{}); err == nil {
+				t.Errorf("bit flip at %d accepted", off)
+			}
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for _, cut := range []int{0, 7, 19, 20, len(valid) / 2, len(valid) - 1} {
+			if _, err := Restore(bytes.NewReader(valid[:cut]), Options{}); err == nil {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	})
+	t.Run("version mismatch", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[8]++
+		if _, err := Restore(bytes.NewReader(b), Options{}); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("method mismatch", func(t *testing.T) {
+		_, err := Restore(bytes.NewReader(valid), Options{Method: MethodNaive})
+		if err == nil || !strings.Contains(err.Error(), "method") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("registry mismatch", func(t *testing.T) {
+		_, err := Restore(bytes.NewReader(valid), Options{Registry: vr.NewRegistry("cat", "dog")})
+		if err == nil || !strings.Contains(err.Error(), "registry") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("registry extension ok", func(t *testing.T) {
+		reg := vr.StandardRegistry()
+		reg.Class("bicycle") // caller registered more classes since the snapshot: fine
+		if _, err := Restore(bytes.NewReader(valid), Options{Registry: reg}); err != nil {
+			t.Errorf("extended registry rejected: %v", err)
+		}
+	})
+	t.Run("engine snapshot into RestorePool", func(t *testing.T) {
+		_, err := RestorePool(bytes.NewReader(valid), PoolOptions{})
+		if err == nil || !strings.Contains(err.Error(), "not a pool") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("pool snapshot into Restore", func(t *testing.T) {
+		pool, err := NewPool(qs, PoolOptions{Workers: 1, Mode: ShardByGroup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		var pb bytes.Buffer
+		if err := pool.Snapshot(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Restore(bytes.NewReader(pb.Bytes()), Options{}); err == nil || !strings.Contains(err.Error(), "not an engine") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var w Writer
+	w.Uvarint(0)
+	w.Uvarint(1<<63 + 7)
+	w.Varint(-12345)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("")
+	w.String("hello, 世界")
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 1<<63+7 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -12345 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderStickyErrors(t *testing.T) {
+	r := NewReader(nil)
+	if r.Uvarint() != 0 || r.Err() == nil {
+		t.Fatal("read from empty payload did not error")
+	}
+	// Every further read stays zero-valued without panicking.
+	_ = r.Varint()
+	_ = r.Bool()
+	_ = r.String()
+	_ = r.Count(1)
+	if r.Err() == nil {
+		t.Fatal("error was not sticky")
+	}
+}
+
+func TestCountRejectsOversize(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 40) // claims a trillion elements in a tiny payload
+	r := NewReader(w.Bytes())
+	if n := r.Count(1); n != 0 || r.Err() == nil {
+		t.Fatalf("Count accepted bogus size: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestStringRejectsOversize(t *testing.T) {
+	var w Writer
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if s := r.String(); s != "" || r.Err() == nil {
+		t.Fatalf("String accepted bogus length: %q err=%v", s, r.Err())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	payload := []byte("engine state goes here")
+	var buf bytes.Buffer
+	if err := Write(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: got %q", got)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xff
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+}
+
+func TestReadRejectsVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = Version + 1
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch accepted: %v", err)
+	}
+}
+
+func TestReadRejectsCorruptedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-40] ^= 0x01 // flip a payload bit
+	if _, err := Read(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption accepted: %v", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, cut := range []int{1, 10, 21, len(b) - 1} {
+		if _, err := Read(bytes.NewReader(b[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

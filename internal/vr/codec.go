@@ -69,6 +69,11 @@ func ReadCSV(r io.Reader, reg *Registry) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("vr: bad id %q: %w", rec[1], err)
 		}
+		if rec[2] == "" {
+			// The writers render "unknown class" as an empty name, so an
+			// empty name in a file is unrepresentable output: corrupt input.
+			return nil, fmt.Errorf("vr: empty class name for object %d in frame %s", id, rec[0])
+		}
 		tuples = append(tuples, Tuple{
 			FID:   fid,
 			ID:    uint32(id),
@@ -132,6 +137,10 @@ func ReadJSONL(r io.Reader, reg *Registry) (*Trace, error) {
 		for _, o := range jf.Objects {
 			if o.ID == emptyFrameSentinel {
 				return nil, fmt.Errorf("vr: frame %d uses reserved object id %d", jf.FID, emptyFrameSentinel)
+			}
+			if o.Class == "" {
+				// See ReadCSV: the writers cannot produce an empty name.
+				return nil, fmt.Errorf("vr: empty class name for object %d in frame %d", o.ID, jf.FID)
 			}
 			tuples = append(tuples, Tuple{FID: jf.FID, ID: o.ID, Class: reg.Class(o.Class)})
 		}

@@ -115,11 +115,21 @@ type Trace struct {
 	classes map[objset.ID]Class
 }
 
+// MaxTraceFrames bounds the number of frames NewTrace will materialize.
+// Frames are densified from 0 to the maximum frame id seen, so a single
+// malformed tuple with a huge frame id would otherwise demand an
+// allocation proportional to that id, not to the input size. The
+// default (about 9.7 hours of 30 fps video) is far beyond the in-memory
+// traces this representation targets; callers with a legitimate larger
+// feed can raise it.
+var MaxTraceFrames = FrameID(1 << 20)
+
 // NewTrace builds a Trace from tuples. Tuples may arrive in any order;
 // they are grouped by frame id and frames are materialized densely from 0
 // to the maximum frame id seen (frames with no detections are empty).
 // NewTrace reports an error if the same object id is recorded with two
-// different classes, which would indicate a corrupt trace.
+// different classes, which would indicate a corrupt trace, or if a frame
+// id reaches MaxTraceFrames.
 func NewTrace(tuples []Tuple) (*Trace, error) {
 	classes := make(map[objset.ID]Class)
 	perFrame := make(map[FrameID][]objset.ID)
@@ -127,6 +137,9 @@ func NewTrace(tuples []Tuple) (*Trace, error) {
 	for _, t := range tuples {
 		if t.FID < 0 {
 			return nil, fmt.Errorf("vr: negative frame id %d", t.FID)
+		}
+		if t.FID >= MaxTraceFrames {
+			return nil, fmt.Errorf("vr: frame id %d exceeds MaxTraceFrames (%d)", t.FID, MaxTraceFrames)
 		}
 		if c, ok := classes[t.ID]; ok && c != t.Class {
 			return nil, fmt.Errorf("vr: object %d has conflicting classes %d and %d", t.ID, c, t.Class)

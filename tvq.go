@@ -133,6 +133,34 @@ func NewEngine(queries []Query, opts Options) (*Engine, error) {
 	return engine.New(queries, opts)
 }
 
+// RestoreEngine reconstructs an engine from a snapshot written by
+// Engine.Snapshot. A restored engine continues exactly where the
+// original stopped: feeding it the remaining frames of the feed emits
+// the same matches an uninterrupted run would. Recorded options win;
+// opts supplies the Registry to share with the caller's codecs (its
+// class names must agree with the recording) and, when opts.Method is
+// set, a cross-check against the recorded method. Corrupted, truncated
+// or version-mismatched snapshots return a descriptive error.
+func RestoreEngine(r io.Reader, opts Options) (*Engine, error) {
+	return engine.Restore(r, opts)
+}
+
+// RestorePool reconstructs a parallel pool from a snapshot written by
+// Pool.Snapshot, restoring every shard engine (per window group, or per
+// feed) so the pool resumes exactly where it stopped. See RestoreEngine
+// for how opts is interpreted.
+func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
+	return engine.RestorePool(r, opts)
+}
+
+// SnapshotKind reports whether the snapshot in r holds an "engine" or a
+// "pool", so callers with a bare file can route to RestoreEngine or
+// RestorePool without guessing. It consumes r and verifies the file
+// framing (magic, version, checksum).
+func SnapshotKind(r io.Reader) (string, error) {
+	return engine.SnapshotKind(r)
+}
+
 // ParseQuery parses query text such as
 //
 //	car >= 2 AND (person <= 3 OR bus = 1)
