@@ -15,34 +15,36 @@
 // "person >= 2 @ 600:450". The trace format is inferred from the file
 // extension; stdin defaults to CSV unless -format jsonl is given.
 //
-// With -workers above 1 the trace is evaluated by a parallel pool that
-// partitions the queries' window groups across engines; matches and
-// their order are identical to the single-engine run. Parallelism is
-// bounded by the number of distinct window sizes, so give queries
-// different @-windows to use more than one worker; the pool warns when
-// it clamps.
+// The command is a thin shell over the v2 Session API: it opens one
+// tvq.Session with functional options and streams the trace through it.
+// With -workers above 1 the session is pooled, partitioning the
+// queries' window groups across engines; matches and their order are
+// identical to the single-engine run. Parallelism is bounded by the
+// number of distinct window sizes, so give queries different @-windows
+// to use more than one worker; the command warns when the session
+// clamps.
 //
-// With -checkpoint the engine state is snapshotted to the given path
+// With -checkpoint the session state is snapshotted to the given path
 // every -every frames ("500") or every -every of wall clock ("30s"),
-// atomically (written to a temp file and renamed). A killed run is
-// picked up with -resume: the engine (or pool) is restored from the
-// snapshot, already-processed frames of the trace are skipped, and the
+// atomically (written to a temp file and renamed), plus once on exit. A
+// killed run is picked up with -resume: the session is restored from
+// the snapshot — single-engine or pooled, the file records which —
+// already-processed frames of the trace are skipped, and the
 // continuation emits exactly the matches the uninterrupted run would
-// have emitted. The snapshot records whether it holds an engine or a
-// pool run, so plain "-resume file trace" works for both. When
-// resuming, queries and engine options are taken from the snapshot;
-// -q/-w/-d are ignored, and an explicit -method or -workers that
-// disagrees with the snapshot is an error.
+// have emitted. When resuming, queries and engine options are taken
+// from the snapshot; -q/-w/-d are ignored, and an explicit -method or
+// -workers that disagrees with the snapshot is an error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
-	"time"
 
 	"tvq"
 )
@@ -78,10 +80,10 @@ func main() {
 		prune      = flag.Bool("prune", false, "enable result-driven pruning (>=-only query sets)")
 		format     = flag.String("format", "", "trace format: csv or jsonl (default: from extension)")
 		quiet      = flag.Bool("quiet", false, "print only the match count")
-		workers    = flag.Int("workers", 1, "engine shards; above 1 runs a parallel pool over the window groups")
-		checkpoint = flag.String("checkpoint", "", "snapshot engine state to this path periodically (see -every)")
+		workers    = flag.Int("workers", 1, "engine shards; above 1 runs a pooled session over the window groups")
+		checkpoint = flag.String("checkpoint", "", "snapshot session state to this path periodically (see -every)")
 		every      = flag.String("every", "1000", "checkpoint cadence: a frame count (\"500\") or a wall-clock duration (\"30s\")")
-		resume     = flag.String("resume", "", "restore engine state from this snapshot and continue the trace")
+		resume     = flag.String("resume", "", "restore session state from this snapshot and continue the trace")
 	)
 	flag.Var(&queries, "q", "query text (repeatable), e.g. \"car >= 1 AND person >= 2\"; append \"@ w:d\" for a per-query window")
 	flag.Parse()
@@ -128,184 +130,100 @@ func run(cfg config) error {
 		return err
 	}
 
-	ck, err := newCheckpointer(cfg.checkpoint, cfg.every)
+	sess, err := openSession(cfg)
 	if err != nil {
 		return err
 	}
-
-	total := 0
-	report := func(fid int64, ms []tvq.Match) {
-		for _, m := range ms {
-			total++
-			if !cfg.quiet {
-				fmt.Printf("frame %d: %s\n", fid, tvq.FormatMatch(m))
-			}
+	closed := false
+	defer func() {
+		if !closed {
+			sess.Close()
 		}
-	}
+	}()
 
-	// A snapshot knows whether it holds an engine or a pool; route on
-	// that, not on -workers, so the plain "tvq -resume file trace"
-	// recipe works for both kinds of run.
-	usePool := cfg.workers > 1
-	if cfg.resume != "" {
-		kind, err := snapshotKind(cfg.resume)
-		if err != nil {
-			return err
-		}
-		usePool = kind == "pool"
-	}
-
-	var nqueries int
-	var start int64
-	var method tvq.Method
-	if usePool {
-		nqueries, start, method, err = runPool(cfg, trace, report, ck)
-	} else {
-		nqueries, start, method, err = runEngine(cfg, trace, report, ck)
-	}
-	if err != nil {
-		return err
+	start := sess.NextFID(0)
+	if start > int64(trace.Len()) {
+		return fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
 	}
 	if start > 0 {
 		fmt.Fprintf(os.Stderr, "tvq: resumed at frame %d (%d frames already processed)\n", start, start)
 	}
 
+	ctx := context.Background()
+	total := 0
+	for f, ms := range sess.Stream(ctx, slices.Values(trace.Frames()[start:])) {
+		for _, m := range ms {
+			total++
+			if !cfg.quiet {
+				fmt.Printf("frame %d: %s\n", f.FID, tvq.FormatMatch(m))
+			}
+		}
+	}
+	if err := sess.Err(); err != nil {
+		return err
+	}
+
+	nqueries, method := len(sess.Queries()), sess.Method()
+	closed = true
+	if err := sess.Close(); err != nil { // writes the final checkpoint
+		return err
+	}
 	fmt.Printf("%d matches over %d frames (%d queries, method=%s)\n",
 		total, trace.Len()-int(start), nqueries, method)
 	return nil
 }
 
-// snapshotKind sniffs whether path holds an engine or a pool snapshot.
-func snapshotKind(path string) (string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return "", err
+// openSession assembles the session options from the flags: a fresh
+// Open for a normal run, a Resume when -resume points at a snapshot.
+func openSession(cfg config) (*tvq.Session, error) {
+	ctx := context.Background()
+	opts := []tvq.Option{tvq.WithRegistry(tvq.StandardRegistry())}
+	if cfg.checkpoint != "" {
+		cadence, err := tvq.ParseCadence(cfg.every)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, tvq.WithCheckpoint(cfg.checkpoint, cadence))
 	}
-	defer f.Close()
-	return tvq.SnapshotKind(f)
-}
 
-// runEngine drives a single engine, either fresh or restored.
-func runEngine(cfg config, trace *tvq.Trace, report func(int64, []tvq.Match), ck *checkpointer) (nqueries int, start int64, method tvq.Method, err error) {
-	var eng *tvq.Engine
 	if cfg.resume != "" {
-		eng, err = restoreEngine(cfg)
-	} else {
-		var qs []tvq.Query
-		qs, err = parseQueries(cfg)
+		// Recorded state wins; explicit flags become cross-checks.
+		if cfg.methodSet {
+			opts = append(opts, tvq.WithMethod(tvq.Method(cfg.method)))
+		}
+		if cfg.workersSet {
+			opts = append(opts, tvq.WithWorkers(cfg.workers))
+		}
+		f, err := os.Open(cfg.resume)
 		if err != nil {
-			return 0, 0, "", err
+			return nil, err
 		}
-		eng, err = tvq.NewEngine(qs, engineOptions(cfg))
+		defer f.Close()
+		return tvq.Resume(ctx, f, opts...)
 	}
-	if err != nil {
-		return 0, 0, "", err
-	}
-	start = eng.NextFID()
-	if start > int64(trace.Len()) {
-		return 0, 0, "", fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
-	}
-	for _, f := range trace.Frames()[start:] {
-		report(f.FID, eng.ProcessFrame(f))
-		if ck.due(1) {
-			if err := ck.write(eng.Snapshot); err != nil {
-				return 0, 0, "", err
-			}
-		}
-	}
-	return len(eng.Queries()), start, eng.Method(), nil
-}
 
-// runPool drives a window-group-sharded pool, either fresh or restored.
-func runPool(cfg config, trace *tvq.Trace, report func(int64, []tvq.Match), ck *checkpointer) (nqueries int, start int64, method tvq.Method, err error) {
-	var pool *tvq.Pool
-	if cfg.resume != "" {
-		pool, err = restorePool(cfg)
-		if err != nil {
-			return 0, 0, "", err
-		}
-	} else {
-		qs, err := parseQueries(cfg)
-		if err != nil {
-			return 0, 0, "", err
-		}
-		pool, err = tvq.NewPool(qs, tvq.PoolOptions{
-			Workers: cfg.workers,
-			Mode:    tvq.ShardByGroup,
-			Engine:  engineOptions(cfg),
-		})
-		if err != nil {
-			return 0, 0, "", err
-		}
-		if pool.Workers() < cfg.workers {
-			fmt.Fprintf(os.Stderr,
-				"tvq: note: %d workers requested but only %d usable; parallelism is bounded by distinct window sizes — give queries different \"@ w:d\" windows to shard wider\n",
-				cfg.workers, pool.Workers())
-		}
-	}
-	defer pool.Close()
-
-	start = pool.NextFID(0)
-	if start > int64(trace.Len()) {
-		return 0, 0, "", fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
-	}
-	frames := trace.Frames()[start:]
-	const batchSize = 64
-	for i := 0; i < len(frames); i += batchSize {
-		end := min(i+batchSize, len(frames))
-		batch := make([]tvq.FeedFrame, 0, end-i)
-		for _, f := range frames[i:end] {
-			batch = append(batch, tvq.FeedFrame{Frame: f})
-		}
-		for _, r := range pool.ProcessBatch(batch) {
-			report(r.FID, r.Matches)
-		}
-		if ck.due(end - i) {
-			if err := ck.write(pool.Snapshot); err != nil {
-				return 0, 0, "", err
-			}
-		}
-	}
-	return len(pool.Queries()), start, pool.Method(), nil
-}
-
-func restoreEngine(cfg config) (*tvq.Engine, error) {
-	f, err := os.Open(cfg.resume)
+	qs, err := parseQueries(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	opts := tvq.Options{Registry: tvq.StandardRegistry()}
-	if cfg.methodSet {
-		opts.Method = tvq.Method(cfg.method)
+	opts = append(opts,
+		tvq.WithQueries(qs...),
+		tvq.WithMethod(tvq.Method(cfg.method)),
+		tvq.WithPruning(cfg.prune),
+	)
+	if cfg.workers > 1 {
+		opts = append(opts, tvq.WithWorkers(cfg.workers), tvq.WithShardMode(tvq.ShardByGroup))
 	}
-	return tvq.RestoreEngine(f, opts)
-}
-
-func restorePool(cfg config) (*tvq.Pool, error) {
-	f, err := os.Open(cfg.resume)
+	sess, err := tvq.Open(ctx, opts...)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	opts := tvq.PoolOptions{Engine: tvq.Options{Registry: tvq.StandardRegistry()}}
-	if cfg.methodSet {
-		opts.Engine.Method = tvq.Method(cfg.method)
+	if cfg.workers > 1 && sess.Workers() < cfg.workers {
+		fmt.Fprintf(os.Stderr,
+			"tvq: note: %d workers requested but only %d usable; parallelism is bounded by distinct window sizes — give queries different \"@ w:d\" windows to shard wider\n",
+			cfg.workers, sess.Workers())
 	}
-	if cfg.workersSet {
-		// Cross-check only: the recorded worker count shaped the sharding,
-		// so an explicit disagreeing -workers is an error, not a resize.
-		opts.Workers = cfg.workers
-	}
-	return tvq.RestorePool(f, opts)
-}
-
-func engineOptions(cfg config) tvq.Options {
-	return tvq.Options{
-		Method:   tvq.Method(cfg.method),
-		Prune:    cfg.prune,
-		Registry: tvq.StandardRegistry(),
-	}
+	return sess, nil
 }
 
 func parseQueries(cfg config) ([]tvq.Query, error) {
@@ -356,91 +274,6 @@ func readTrace(cfg config) (*tvq.Trace, error) {
 	default:
 		return nil, fmt.Errorf("unknown format %q", format)
 	}
-}
-
-// checkpointer writes snapshots to a path on a frame-count or
-// wall-clock cadence, atomically (temp file + rename) so a crash during
-// a write never clobbers the previous good checkpoint.
-type checkpointer struct {
-	path        string
-	everyFrames int
-	everyDur    time.Duration
-	frames      int
-	last        time.Time
-}
-
-// newCheckpointer parses the -every value: a bare integer is a frame
-// count, anything else must parse as a time.Duration.
-func newCheckpointer(path, every string) (*checkpointer, error) {
-	if path == "" {
-		return &checkpointer{}, nil
-	}
-	ck := &checkpointer{path: path, last: time.Now()}
-	if n, err := strconv.Atoi(every); err == nil {
-		if n <= 0 {
-			return nil, fmt.Errorf("-every frame count must be positive, got %d", n)
-		}
-		ck.everyFrames = n
-		return ck, nil
-	}
-	d, err := time.ParseDuration(every)
-	if err != nil {
-		return nil, fmt.Errorf("-every %q is neither a frame count nor a duration (try \"500\" or \"30s\")", every)
-	}
-	if d <= 0 {
-		return nil, fmt.Errorf("-every duration must be positive, got %v", d)
-	}
-	ck.everyDur = d
-	return ck, nil
-}
-
-// due reports whether a checkpoint should be written after n more
-// processed frames.
-func (c *checkpointer) due(n int) bool {
-	if c.path == "" {
-		return false
-	}
-	c.frames += n
-	if c.everyFrames > 0 && c.frames >= c.everyFrames {
-		return true
-	}
-	if c.everyDur > 0 && time.Since(c.last) >= c.everyDur {
-		return true
-	}
-	return false
-}
-
-// write snapshots via snap into path atomically and resets the cadence.
-func (c *checkpointer) write(snap func(io.Writer) error) error {
-	tmp := c.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := snap(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	// Flush to stable storage before the rename becomes visible: without
-	// this a power loss can persist the rename but not the data, leaving
-	// a truncated file where the previous good checkpoint was.
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, c.path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	c.frames = 0
-	c.last = time.Now()
-	return nil
 }
 
 // splitWindowSuffix strips an optional "@ w:d" suffix from a -q

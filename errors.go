@@ -1,0 +1,46 @@
+package tvq
+
+import (
+	"errors"
+
+	"tvq/internal/cnf"
+	"tvq/internal/engine"
+)
+
+// Typed errors of the public API. Sentinels are shared with the internal
+// engine layer, so an error produced anywhere in the stack matches here
+// with errors.Is; wrap sites add human-readable context.
+var (
+	// ErrDuplicateQuery reports a query id that is already registered
+	// with the session, engine or pool.
+	ErrDuplicateQuery = engine.ErrDuplicateQuery
+
+	// ErrPruningIncompatible reports a dynamic registration attempted
+	// while the §5.3 result-driven pruning strategy is active. Pruning
+	// drops states the current query set can never match; a query
+	// arriving later might have matched one of them, so Subscribe and
+	// AddQuery refuse rather than silently under-report. Cancel and
+	// RemoveQuery remain available — shrinking the query set only
+	// enlarges the droppable state population.
+	ErrPruningIncompatible = engine.ErrPruningIncompatible
+
+	// ErrSnapshotMismatch reports a snapshot that is well-formed but
+	// disagrees with the restore request: wrong state kind, method,
+	// registry, worker count, shard mode or batch size.
+	ErrSnapshotMismatch = engine.ErrSnapshotMismatch
+
+	// ErrSessionClosed reports an operation on a closed Session (after
+	// Close, or after the Open context was cancelled).
+	ErrSessionClosed = errors.New("tvq: session closed")
+)
+
+// ParseError is a structured query-text parse failure with the byte
+// offset of the offending token. ParseQuery returns one for every
+// syntax error:
+//
+//	_, err := tvq.ParseQuery(1, "car >> 2", 30, 15)
+//	var pe *tvq.ParseError
+//	if errors.As(err, &pe) {
+//		fmt.Printf("%s\n%*s^ %s\n", pe.Input, pe.Offset, "", pe.Msg)
+//	}
+type ParseError = cnf.ParseError

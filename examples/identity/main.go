@@ -1,15 +1,17 @@
 // Identity queries: the paper's §1 observation that temporal queries
 // become "highly powerful" once query objects are tied to external
 // identities (e.g. license plates). A plate reader links tracker id 501
-// to a stolen vehicle mid-feed; an analyst registers, *while the engine
-// is running*, a query for that specific car together with any two
-// people — using the `#id` identity syntax and the engine's dynamic
-// query registration.
+// to a stolen vehicle mid-feed; an analyst subscribes, *while the
+// session is serving*, a query for that specific car together with any
+// two people — using the `#id` identity syntax, Session.Subscribe, and
+// a callback sink that receives the subscription's matches as they
+// happen.
 //
 //	go run ./examples/identity
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,38 +51,60 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The engine starts with a generic watchlist query.
-	generic := tvq.MustQuery(1, "car >= 1 AND person >= 2", 150, 100)
-	eng, err := tvq.NewEngine([]tvq.Query{generic}, tvq.Options{Registry: reg})
+	// The session starts with a generic watchlist query.
+	ctx := context.Background()
+	s, err := tvq.Open(ctx,
+		tvq.WithQuery(tvq.MustQuery(1, "car >= 1 AND person >= 2", 150, 100)),
+		tvq.WithRegistry(reg),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 
-	registered := false
 	hits := map[int]int{}
+	var sub *tvq.Subscription
+	targetedHits := 0
 	for _, frame := range trace.Frames() {
 		// At frame 300 the plate reader flags tracker id 501; the
-		// analyst registers an identity query on the live engine.
-		if frame.FID == 300 && !registered {
-			targeted := tvq.MustQuery(2, "#501 AND person >= 2", 150, 100)
-			if err := eng.AddQuery(targeted); err != nil {
+		// analyst subscribes an identity query on the live session. The
+		// sink fires once per match, synchronously with processing.
+		if frame.FID == 300 && sub == nil {
+			sub, err = s.Subscribe(
+				tvq.MustQuery(0, "#501 AND person >= 2", 150, 100),
+				tvq.WithSink(tvq.SinkFunc(func(d tvq.Delivery) error {
+					if targetedHits == 0 {
+						fmt.Printf("frame %4d: first targeted hit: %s\n",
+							d.FID, tvq.FormatMatch(d.Match))
+						if !d.Match.Objects.Contains(501) {
+							log.Fatal("BUG: identity constraint violated")
+						}
+					}
+					targetedHits++
+					return nil
+				})))
+			if err != nil {
 				log.Fatal(err)
 			}
-			registered = true
-			fmt.Println("frame 300: plate hit on tracker id 501 — targeted query registered")
+			fmt.Printf("frame 300: plate hit on tracker id 501 — targeted query %d subscribed\n", sub.ID())
 		}
-		for _, m := range eng.ProcessFrame(frame) {
-			if hits[m.QueryID] == 0 {
+		ms, err := s.ProcessFrame(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range ms {
+			if hits[m.QueryID] == 0 && m.QueryID == 1 {
 				fmt.Printf("frame %4d: first hit for query %d: %s\n",
 					frame.FID, m.QueryID, tvq.FormatMatch(m))
-				if m.QueryID == 2 && !m.Objects.Contains(501) {
-					log.Fatal("BUG: identity constraint violated")
-				}
 			}
 			hits[m.QueryID]++
 		}
 	}
-	fmt.Printf("\ntotal window hits: generic=%d targeted=%d\n", hits[1], hits[2])
+	if err := sub.Cancel(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal window hits: generic=%d targeted=%d (sink saw %d)\n",
+		hits[1], hits[sub.ID()], targetedHits)
 	fmt.Println("the targeted query fires only while the flagged car is with two people;")
 	fmt.Println("the generic query also fires on unrelated car+pedestrian co-occurrences.")
 }

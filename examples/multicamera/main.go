@@ -1,13 +1,13 @@
 // Multi-camera scale-out: a bank of synthetic cameras multiplexed into
-// one frame stream, evaluated by a parallel Pool of engines. Each feed
-// is pinned to one worker (ShardByFeed), so the feeds progress
-// concurrently while every feed sees exactly the matches a dedicated
-// single engine would produce; results come back in arrival order.
+// one frame stream, evaluated by a pooled Session. Each feed is pinned
+// to one worker (ShardByFeed), so the feeds progress concurrently while
+// every feed sees exactly the matches a dedicated single-engine session
+// would produce; results come back in arrival order.
 //
-// The example drives the pool through its streaming front-end, then
-// replays the same frames through per-feed single engines and checks the
-// pool changed nothing — the paper's semantics are preserved, only the
-// hardware is used harder.
+// The example drives the pooled session through the range-over-func
+// streaming front-end, then replays the same frames through per-feed
+// single-engine sessions and checks the pool changed nothing — the
+// paper's semantics are preserved, only the hardware is used harder.
 //
 //	go run ./examples/multicamera
 package main
@@ -51,36 +51,31 @@ func main() {
 		traces[i] = tr
 	}
 
-	pool, err := tvq.NewPool(queries, tvq.PoolOptions{
-		Workers: workers,
-		Mode:    tvq.ShardByFeed,
-		Engine:  tvq.Options{Registry: reg},
-	})
+	// One session, four workers, one engine per camera under the hood.
+	ctx := context.Background()
+	s, err := tvq.Open(ctx,
+		tvq.WithQueries(queries...),
+		tvq.WithWorkers(workers),
+		tvq.WithShardMode(tvq.ShardByFeed),
+		tvq.WithRegistry(reg),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer pool.Close()
+	defer s.Close()
 
-	// Multiplex the cameras round-robin, the way frames would arrive
-	// from a fair capture loop, and stream them through the pool.
-	in := make(chan tvq.FeedFrame)
-	go func() {
-		defer close(in)
-		for fi := 0; fi < frames; fi++ {
-			for feed := 0; feed < feeds; feed++ {
-				if fi < traces[feed].Len() {
-					in <- tvq.FeedFrame{Feed: tvq.FeedID(feed), Frame: traces[feed].Frame(fi)}
-				}
-			}
-		}
-	}()
-
+	// Multiplex interleaves the cameras round-robin, the way frames
+	// would arrive from a fair capture loop; StreamFeeds yields every
+	// frame that produced matches, tagged with its feed.
 	perFeed := make([]int, feeds)
 	start := time.Now()
 	total := 0
-	for r := range pool.Stream(context.Background(), in) {
-		perFeed[r.Feed] += len(r.Matches)
-		total += len(r.Matches)
+	for ff, ms := range s.StreamFeeds(ctx, tvq.Multiplex(traces...)) {
+		perFeed[ff.Feed] += len(ms)
+		total += len(ms)
+	}
+	if err := s.Err(); err != nil {
+		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
@@ -89,27 +84,32 @@ func main() {
 		processed += tr.Len()
 	}
 	fmt.Printf("%d cameras, %d frames total, %d workers (GOMAXPROCS %d)\n",
-		feeds, processed, pool.Workers(), runtime.GOMAXPROCS(0))
-	fmt.Printf("pool: %d matches in %.1fms (%.0f frames/sec)\n\n",
+		feeds, processed, s.Workers(), runtime.GOMAXPROCS(0))
+	fmt.Printf("pooled session: %d matches in %.1fms (%.0f frames/sec)\n\n",
 		total, float64(elapsed.Microseconds())/1000, float64(processed)/elapsed.Seconds())
 	for feed, n := range perFeed {
 		fmt.Printf("  camera %d: %4d matches\n", feed, n)
 	}
 
-	// Cross-check: per-feed single engines must agree match-for-match.
+	// Cross-check: per-feed single-engine sessions must agree
+	// match-for-match.
 	for feed, tr := range traces {
-		eng, err := tvq.NewEngine(queries, tvq.Options{Registry: reg})
+		single, err := tvq.Open(ctx, tvq.WithQueries(queries...), tvq.WithRegistry(reg))
 		if err != nil {
 			log.Fatal(err)
 		}
 		serial := 0
-		for _, f := range tr.Frames() {
-			serial += len(eng.ProcessFrame(f))
+		for _, ms := range single.Stream(ctx, tvq.TraceFrames(tr)) {
+			serial += len(ms)
 		}
+		if err := single.Err(); err != nil {
+			log.Fatal(err)
+		}
+		single.Close()
 		if serial != perFeed[feed] {
-			log.Fatalf("BUG: camera %d: pool found %d matches, single engine %d",
+			log.Fatalf("BUG: camera %d: pooled session found %d matches, single %d",
 				feed, perFeed[feed], serial)
 		}
 	}
-	fmt.Println("\nper-feed single engines agree with the pool on every camera.")
+	fmt.Println("\nper-feed single-engine sessions agree with the pool on every camera.")
 }

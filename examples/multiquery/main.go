@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -52,19 +53,25 @@ func main() {
 		states  int
 	}
 	run := func(prune bool) result {
-		eng, err := tvq.NewEngine(queries, tvq.Options{
-			Method:   tvq.MethodSSG,
-			Prune:    prune,
-			Registry: reg,
-		})
+		s, err := tvq.Open(context.Background(),
+			tvq.WithQueries(queries...),
+			tvq.WithMethod(tvq.MethodSSG),
+			tvq.WithPruning(prune),
+			tvq.WithRegistry(reg),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer s.Close()
 		var r result
 		start := time.Now()
 		for _, frame := range trace.Frames() {
-			r.matches += len(eng.ProcessFrame(frame))
-			if n := eng.StateCount(); n > r.states {
+			ms, err := s.ProcessFrame(frame)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r.matches += len(ms)
+			if n := s.StateCount(); n > r.states {
 				r.states = n
 			}
 		}

@@ -1,10 +1,11 @@
-// Quickstart: generate a synthetic surveillance feed, run one temporal
-// query over it, and print the matches.
+// Quickstart: generate a synthetic surveillance feed, open a v2
+// session with one temporal query, and range over the matches.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,21 +29,30 @@ func main() {
 	// "Report every maximal group of tracked objects with at least two
 	// people that stays jointly visible for 1 of the last 4 seconds."
 	// (M1 objects live ~0.8s on average, so short durations fit it.)
-	q := tvq.MustQuery(1, "person >= 2", 120, 30)
-
-	eng, err := tvq.NewEngine([]tvq.Query{q}, tvq.Options{Registry: reg})
+	ctx := context.Background()
+	s, err := tvq.Open(ctx,
+		tvq.WithQuery(tvq.MustQuery(1, "person >= 2", 120, 30)),
+		tvq.WithRegistry(reg),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 
+	// Stream is a Go 1.23 range-over-func: each iteration is one frame
+	// that produced matches, pulled through the session under the
+	// caller's context.
 	matches := 0
-	for _, frame := range trace.Frames() {
-		for _, m := range eng.ProcessFrame(frame) {
+	for frame, ms := range s.Stream(ctx, tvq.TraceFrames(trace)) {
+		for _, m := range ms {
 			matches++
 			if matches <= 10 {
 				fmt.Printf("frame %4d: %s\n", frame.FID, tvq.FormatMatch(m))
 			}
 		}
+	}
+	if err := s.Err(); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("...\n%d window matches over %d frames\n", matches, trace.Len())
 }

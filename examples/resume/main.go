@@ -1,12 +1,16 @@
-// Checkpoint/resume walkthrough: a long-running engine is killed
+// Checkpoint/resume walkthrough: a long-running session is killed
 // mid-feed and brought back from a snapshot file, and the resumed run
-// emits exactly the matches the uninterrupted run would have emitted.
+// emits exactly the matches the uninterrupted run would have emitted —
+// including a query that an analyst subscribed while the first run was
+// live.
 //
-// The engine's value is its incrementally-maintained state — window
-// ring buffers, marked frame sets, the strict state graph. Losing it on
-// a restart means replaying hours of video. Engine.Snapshot serializes
-// all of it into a versioned, checksummed file; RestoreEngine rebuilds
-// an engine that continues as if nothing happened.
+// The session's value is its incrementally-maintained state — window
+// ring buffers, marked frame sets, the strict state graph, and the set
+// of live subscriptions. Losing it on a restart means replaying hours
+// of video. Session.Snapshot serializes all of it into a versioned,
+// checksummed file; Resume rebuilds a session that continues as if
+// nothing happened, reattaching each restored subscription's sink via
+// WithSubscriptionSinks.
 //
 // The same flow is available on the command line:
 //
@@ -17,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -27,6 +32,7 @@ import (
 
 func main() {
 	reg := tvq.StandardRegistry()
+	ctx := context.Background()
 
 	// A traffic-camera-shaped scene: cars and trucks with long
 	// lifetimes, enough overlap that co-occurrence queries fire.
@@ -43,32 +49,43 @@ func main() {
 		tvq.MustQuery(1, "car >= 2", 60, 30),
 		tvq.MustQuery(2, "car >= 1 AND truck >= 1", 90, 45),
 	}
-	opts := tvq.Options{Registry: reg}
+	subscribed := tvq.MustQuery(3, "truck >= 1", 45, 20) // joins at frame 100
+	open := func() *tvq.Session {
+		s, err := tvq.Open(ctx, tvq.WithQueries(queries...), tvq.WithRegistry(reg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+	drive := func(s *tvq.Session, frames []tvq.Frame, out *[]string) {
+		for _, f := range frames {
+			if f.FID == 100 {
+				if _, err := s.Subscribe(subscribed); err != nil {
+					log.Fatal(err)
+				}
+			}
+			ms, err := s.ProcessFrame(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, m := range ms {
+				*out = append(*out, fmt.Sprintf("frame %d: %s", f.FID, tvq.FormatMatch(m)))
+			}
+		}
+	}
 
 	// Reference: the uninterrupted run.
-	ref, err := tvq.NewEngine(queries, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	ref := open()
 	var want []string
-	for _, f := range trace.Frames() {
-		for _, m := range ref.ProcessFrame(f) {
-			want = append(want, fmt.Sprintf("frame %d: %s", f.FID, tvq.FormatMatch(m)))
-		}
-	}
+	drive(ref, trace.Frames(), &want)
+	ref.Close()
 
-	// Run 1: process half the feed, checkpoint, "crash".
-	eng, err := tvq.NewEngine(queries, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Run 1: process half the feed (subscribing query 3 on the way),
+	// checkpoint, "crash".
+	s := open()
 	var got []string
 	cut := trace.Len() / 2
-	for _, f := range trace.Frames()[:cut] {
-		for _, m := range eng.ProcessFrame(f) {
-			got = append(got, fmt.Sprintf("frame %d: %s", f.FID, tvq.FormatMatch(m)))
-		}
-	}
+	drive(s, trace.Frames()[:cut], &got)
 
 	dir, err := os.MkdirTemp("", "tvq-resume")
 	if err != nil {
@@ -81,35 +98,37 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.Snapshot(f); err != nil {
+	if err := s.Snapshot(f); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	info, _ := os.Stat(path)
-	fmt.Printf("checkpointed after %d frames: %s (%d bytes, %d live states)\n",
-		cut, filepath.Base(path), info.Size(), eng.StateCount())
-	eng = nil // the "kill": all in-memory state is gone
+	fmt.Printf("checkpointed after %d frames: %s (%d bytes, %d live states, %d subscriptions)\n",
+		cut, filepath.Base(path), info.Size(), s.StateCount(), len(s.Subscriptions()))
+	s.Close() // the "kill": all in-memory state is gone
 
-	// Run 2: restore from the file and finish the feed.
+	// Run 2: restore from the file and finish the feed. The snapshot
+	// recorded the live subscription; the restored session lists it.
 	in, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	restored, err := tvq.RestoreEngine(in, tvq.Options{Registry: reg})
+	restored, err := tvq.Resume(ctx, in, tvq.WithRegistry(reg))
 	in.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("restored: resuming at frame %d with %d live states\n",
-		restored.NextFID(), restored.StateCount())
-
-	for _, f := range trace.Frames()[restored.NextFID():] {
-		for _, m := range restored.ProcessFrame(f) {
-			got = append(got, fmt.Sprintf("frame %d: %s", f.FID, tvq.FormatMatch(m)))
-		}
+	defer restored.Close()
+	fmt.Printf("restored: resuming at frame %d with %d live states; subscriptions:",
+		restored.NextFID(0), restored.StateCount())
+	for _, sub := range restored.Subscriptions() {
+		fmt.Printf(" q%d", sub.ID())
 	}
+	fmt.Println()
+
+	drive(restored, trace.Frames()[restored.NextFID(0):], &got)
 
 	// The contract: kill + resume changed nothing.
 	if len(got) != len(want) {

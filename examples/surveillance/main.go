@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -60,23 +61,29 @@ func main() {
 	// Witness query: a car and two people jointly present for at least
 	// 8 of the last 10 seconds. The duration parameter d < w is what
 	// absorbs the occlusion gaps (§2).
-	q := tvq.MustQuery(1, "car >= 1 AND person >= 2", 300, 240)
-
-	eng, err := tvq.NewEngine([]tvq.Query{q}, tvq.Options{Registry: reg})
+	ctx := context.Background()
+	s, err := tvq.Open(ctx,
+		tvq.WithQuery(tvq.MustQuery(1, "car >= 1 AND person >= 2", 300, 240)),
+		tvq.WithRegistry(reg),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 
 	suspects := map[string]bool{}
 	firstHit, lastHit := int64(-1), int64(-1)
-	for _, frame := range trace.Frames() {
-		for _, m := range eng.ProcessFrame(frame) {
+	for frame, ms := range s.Stream(ctx, tvq.TraceFrames(trace)) {
+		for _, m := range ms {
 			if firstHit < 0 {
 				firstHit = frame.FID
 			}
 			lastHit = frame.FID
 			suspects[fmt.Sprint(m.Objects)] = true
 		}
+	}
+	if err := s.Err(); err != nil {
+		log.Fatal(err)
 	}
 
 	if firstHit < 0 {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,18 +46,27 @@ func main() {
 	}
 
 	for _, method := range []tvq.Method{tvq.MethodNaive, tvq.MethodMFS, tvq.MethodSSG} {
-		eng, err := tvq.NewEngine(queries, tvq.Options{Method: method, Registry: reg})
+		s, err := tvq.Open(context.Background(),
+			tvq.WithQueries(queries...),
+			tvq.WithMethod(method),
+			tvq.WithRegistry(reg),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
 		perQuery := map[int]int{}
 		start := time.Now()
-		for _, frame := range trace.Frames() {
-			for _, m := range eng.ProcessFrame(frame) {
+		results, err := s.Run(trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			for _, m := range r.Matches {
 				perQuery[m.QueryID]++
 			}
 		}
 		elapsed := time.Since(start)
+		s.Close()
 		fmt.Printf("%-6s %8.1fms   congestion=%d busConflict=%d convoy=%d pedestrian=%d\n",
 			method, float64(elapsed.Microseconds())/1000,
 			perQuery[1], perQuery[2], perQuery[3], perQuery[4])

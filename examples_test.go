@@ -2,12 +2,111 @@ package tvq_test
 
 import (
 	"context"
+	"fmt"
+	"log"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"tvq"
 )
+
+// exampleTrace is a tiny deterministic feed for the godoc examples: one
+// car (id 1) and two people (ids 2, 3) jointly visible in frames 0-9.
+func exampleTrace() *tvq.Trace {
+	reg := tvq.StandardRegistry()
+	car, person := reg.Class("car"), reg.Class("person")
+	var tuples []tvq.Tuple
+	for f := int64(0); f < 10; f++ {
+		tuples = append(tuples,
+			tvq.Tuple{FID: f, ID: 1, Class: car},
+			tvq.Tuple{FID: f, ID: 2, Class: person},
+			tvq.Tuple{FID: f, ID: 3, Class: person},
+		)
+	}
+	trace, err := tvq.NewTraceFromTuples(tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return trace
+}
+
+// ExampleOpen opens a session with functional options and runs a trace
+// through it.
+func ExampleOpen() {
+	s, err := tvq.Open(context.Background(),
+		tvq.WithQuery(tvq.MustQuery(1, "car >= 1 AND person >= 2", 4, 4)),
+		tvq.WithMethod(tvq.MethodSSG),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	results, err := s.Run(exampleTrace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d matching frames; first: %s\n", len(results), tvq.FormatMatch(results[0].Matches[0]))
+	// Output:
+	// 7 matching frames; first: q1: objects {1 2 3} in 4 frames [0..3]
+}
+
+// ExampleSession_Subscribe registers a query on a live session and
+// receives its matches through a callback sink.
+func ExampleSession_Subscribe() {
+	s, err := tvq.Open(context.Background()) // no queries yet
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	sub, err := s.Subscribe(
+		tvq.MustQuery(0, "person >= 2", 4, 3), // id 0: auto-assigned
+		tvq.WithSink(tvq.SinkFunc(func(d tvq.Delivery) error {
+			if d.FID == 5 {
+				fmt.Printf("frame %d: %s\n", d.FID, tvq.FormatMatch(d.Match))
+			}
+			return nil
+		})),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subscribed as query", sub.ID())
+
+	if _, err := s.Run(exampleTrace()); err != nil {
+		log.Fatal(err)
+	}
+	sub.Cancel()
+	// Output:
+	// subscribed as query 1
+	// frame 5: q1: objects {2 3} in 4 frames [2..5]
+}
+
+// ExampleSession_Stream ranges over a trace with the Go 1.23 iterator
+// front-end; only frames that produced matches are yielded.
+func ExampleSession_Stream() {
+	ctx := context.Background()
+	s, err := tvq.Open(ctx, tvq.WithQuery(tvq.MustQuery(1, "car >= 1 AND person >= 2", 6, 6)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	for frame, matches := range s.Stream(ctx, tvq.TraceFrames(exampleTrace())) {
+		fmt.Printf("frame %d: %d match(es)\n", frame.FID, len(matches))
+		if frame.FID >= 7 {
+			break
+		}
+	}
+	// Output:
+	// frame 5: 1 match(es)
+	// frame 6: 1 match(es)
+	// frame 7: 1 match(es)
+}
 
 // TestExamplesRun smoke-tests every examples/* program: each must build,
 // run to completion without arguments, and exit 0. Examples are user-facing

@@ -26,14 +26,44 @@ import (
 func Parse(text string) (Query, error) {
 	toks, err := lex(text)
 	if err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			pe.Input = text
+		}
 		return Query{}, err
 	}
 	p := &parser{toks: toks}
 	q, err := p.parseQuery()
 	if err != nil {
-		return Query{}, fmt.Errorf("cnf: parse %q: %w", text, err)
+		if pe, ok := err.(*ParseError); ok {
+			pe.Input = text
+		}
+		return Query{}, err
 	}
 	return q, nil
+}
+
+// ParseError is a structured query-text parse failure: what went wrong
+// and the byte offset in the input where it did. Parse always returns
+// one, so callers can recover the position with errors.As:
+//
+//	var pe *cnf.ParseError
+//	if errors.As(err, &pe) { caret(pe.Input, pe.Offset) }
+type ParseError struct {
+	Input  string // the query text handed to Parse
+	Offset int    // byte offset of the offending token or character
+	Msg    string // what was wrong at that position
+}
+
+func (e *ParseError) Error() string {
+	if e.Input == "" {
+		return fmt.Sprintf("cnf: %s at offset %d", e.Msg, e.Offset)
+	}
+	return fmt.Sprintf("cnf: parse %q: %s at offset %d", e.Input, e.Msg, e.Offset)
+}
+
+// perr builds a positioned parse error.
+func perr(offset int, format string, args ...any) *ParseError {
+	return &ParseError{Offset: offset, Msg: fmt.Sprintf(format, args...)}
 }
 
 // MustParse is Parse that panics on error, for tests and fixed literals.
@@ -84,7 +114,7 @@ func lex(text string) ([]token, error) {
 			i++
 		case c == '>' || c == '<':
 			if i+1 >= len(text) || text[i+1] != '=' {
-				return nil, fmt.Errorf("cnf: strict inequality at offset %d; use >= or <=", i)
+				return nil, perr(i, "strict inequality; use >= or <=")
 			}
 			toks = append(toks, token{tokOp, text[i : i+2], i})
 			i += 2
@@ -97,13 +127,13 @@ func lex(text string) ([]token, error) {
 			i += n
 		case c == '&':
 			if i+1 >= len(text) || text[i+1] != '&' {
-				return nil, fmt.Errorf("cnf: lone '&' at offset %d", i)
+				return nil, perr(i, "lone '&'")
 			}
 			toks = append(toks, token{tokAnd, "&&", i})
 			i += 2
 		case c == '|':
 			if i+1 >= len(text) || text[i+1] != '|' {
-				return nil, fmt.Errorf("cnf: lone '|' at offset %d", i)
+				return nil, perr(i, "lone '|'")
 			}
 			toks = append(toks, token{tokOr, "||", i})
 			i += 2
@@ -130,7 +160,7 @@ func lex(text string) ([]token, error) {
 			}
 			i = j
 		default:
-			return nil, fmt.Errorf("cnf: unexpected character %q at offset %d", c, i)
+			return nil, perr(i, "unexpected character %q", c)
 		}
 	}
 	toks = append(toks, token{tokEOF, "", len(text)})
@@ -175,7 +205,7 @@ func (p *parser) parseQuery() (Query, error) {
 			return q, nil
 		default:
 			t := p.peek()
-			return Query{}, fmt.Errorf("expected AND or end of input at offset %d, got %q", t.pos, t.text)
+			return Query{}, perr(t.pos, "expected AND or end of input, got %q", t.text)
 		}
 	}
 }
@@ -196,7 +226,7 @@ func (p *parser) parseClause() (Disjunction, error) {
 			case tokRParen:
 				return d, nil
 			default:
-				return nil, fmt.Errorf("expected OR or ) at offset %d, got %q", t.pos, t.text)
+				return nil, perr(t.pos, "expected OR or ), got %q", t.text)
 			}
 		}
 	}
@@ -212,28 +242,28 @@ func (p *parser) parseCond() (Condition, error) {
 	if id.kind == tokHash {
 		num := p.next()
 		if num.kind != tokNumber {
-			return Condition{}, fmt.Errorf("expected object id after # at offset %d, got %q", num.pos, num.text)
+			return Condition{}, perr(num.pos, "expected object id after #, got %q", num.text)
 		}
 		n, err := strconv.Atoi(num.text)
 		if err != nil {
-			return Condition{}, fmt.Errorf("bad object id %q at offset %d: %w", num.text, num.pos, err)
+			return Condition{}, perr(num.pos, "bad object id %q: %v", num.text, err)
 		}
 		return Condition{Identity: true, N: n}, nil
 	}
 	if id.kind != tokIdent {
-		return Condition{}, fmt.Errorf("expected class label at offset %d, got %q", id.pos, id.text)
+		return Condition{}, perr(id.pos, "expected class label, got %q", id.text)
 	}
 	op := p.next()
 	if op.kind != tokOp {
-		return Condition{}, fmt.Errorf("expected comparison after %q at offset %d, got %q", id.text, op.pos, op.text)
+		return Condition{}, perr(op.pos, "expected comparison after %q, got %q", id.text, op.text)
 	}
 	num := p.next()
 	if num.kind != tokNumber {
-		return Condition{}, fmt.Errorf("expected number after %q at offset %d, got %q", op.text, num.pos, num.text)
+		return Condition{}, perr(num.pos, "expected number after %q, got %q", op.text, num.text)
 	}
 	n, err := strconv.Atoi(num.text)
 	if err != nil {
-		return Condition{}, fmt.Errorf("bad number %q at offset %d: %w", num.text, num.pos, err)
+		return Condition{}, perr(num.pos, "bad number %q: %v", num.text, err)
 	}
 	c := Condition{Label: id.text, N: n}
 	switch op.text {

@@ -14,12 +14,17 @@ import (
 // generator, so its first results reflect only frames processed from now
 // on (its reported frame sets still use feed frame ids).
 //
-// AddQuery is incompatible with the §5.3 pruning strategy: states already
-// dropped under the old query set might satisfy the new query, so the
-// call is rejected when Options.Prune is set.
+// AddQuery is incompatible with the §5.3 result-driven pruning strategy
+// and returns an error wrapping ErrPruningIncompatible when
+// Options.Prune is set: pruning terminates states the moment the current
+// query set cannot be satisfied by any superset of their object set
+// (Proposition 1), so a state a later query would have matched may
+// already be gone — accepting the query would silently under-report.
+// Registering a query whose id is already present returns an error
+// wrapping ErrDuplicateQuery.
 func (e *Engine) AddQuery(q cnf.Query) error {
 	if e.opts.Prune {
-		return fmt.Errorf("engine: AddQuery is unavailable with result-driven pruning enabled")
+		return fmt.Errorf("engine: AddQuery: %w", ErrPruningIncompatible)
 	}
 	if err := q.Validate(); err != nil {
 		return err
@@ -27,7 +32,7 @@ func (e *Engine) AddQuery(q cnf.Query) error {
 	for _, g := range e.groups {
 		for _, existing := range g.eval.Queries() {
 			if existing.ID == q.ID {
-				return fmt.Errorf("engine: duplicate query id %d", q.ID)
+				return fmt.Errorf("engine: query id %d: %w", q.ID, ErrDuplicateQuery)
 			}
 		}
 	}

@@ -81,12 +81,29 @@ type Engine struct {
 // New builds an engine for the given queries. Queries are grouped by
 // window size; each group gets its own MCOS generator whose duration
 // push-down is the group's minimum duration.
+//
+// An empty query set is valid — the engine consumes frames, maintains
+// the feed-wide class table and produces no matches — so a long-running
+// session can start idle and receive all of its queries dynamically via
+// AddQuery. Duplicate query ids return an error wrapping
+// ErrDuplicateQuery.
 func New(queries []cnf.Query, opts Options) (*Engine, error) {
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("engine: no queries")
+	seen := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		if seen[q.ID] {
+			return nil, fmt.Errorf("engine: query id %d: %w", q.ID, ErrDuplicateQuery)
+		}
+		seen[q.ID] = true
 	}
 	if opts.Method == "" {
 		opts.Method = MethodSSG
+	}
+	switch opts.Method {
+	case MethodNaive, MethodMFS, MethodSSG:
+	default:
+		// Validate eagerly: with an empty query set no generator is
+		// built, so the per-group check in newGenerator never runs.
+		return nil, fmt.Errorf("engine: unknown method %q", opts.Method)
 	}
 	if opts.Registry == nil {
 		opts.Registry = vr.StandardRegistry()
@@ -274,3 +291,10 @@ func (e *Engine) NextFID() vr.FrameID { return e.next }
 
 // Method returns the state maintenance strategy the engine runs.
 func (e *Engine) Method() Method { return e.opts.Method }
+
+// Pruned reports whether the §5.3 result-driven pruning strategy is
+// enabled.
+func (e *Engine) Pruned() bool { return e.opts.Prune }
+
+// WindowMode reports the engine's window semantics.
+func (e *Engine) WindowMode() WindowMode { return e.opts.Windows }

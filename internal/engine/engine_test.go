@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"testing"
@@ -44,8 +45,23 @@ func smallTrace(t *testing.T, seed int64) *vr.Trace {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, Options{}); err == nil {
-		t.Error("no queries accepted")
+	// An empty query set is a valid serving-shaped engine: frames flow,
+	// nothing matches, queries arrive later via AddQuery.
+	empty, err := New(nil, Options{})
+	if err != nil {
+		t.Fatalf("empty query set rejected: %v", err)
+	}
+	if ms := empty.ProcessFrame(vr.Frame{}); len(ms) != 0 {
+		t.Errorf("empty engine produced matches: %v", ms)
+	}
+	if err := empty.AddQuery(mkQuery(t, 1, "car >= 1", 10, 5)); err != nil {
+		t.Errorf("AddQuery on empty engine: %v", err)
+	}
+	if _, err := New([]cnf.Query{
+		mkQuery(t, 7, "car >= 1", 10, 5),
+		mkQuery(t, 7, "person >= 1", 20, 5),
+	}, Options{}); !errors.Is(err, ErrDuplicateQuery) {
+		t.Errorf("duplicate ids: err = %v, want ErrDuplicateQuery", err)
 	}
 	qs := []cnf.Query{mkQuery(t, 1, "car >= 1", 10, 5)}
 	if _, err := New(qs, Options{Method: "bogus"}); err == nil {

@@ -77,6 +77,7 @@ const DefaultBatch = 64
 type Pool struct {
 	opts    PoolOptions
 	queries []cnf.Query
+	shared  *poolWorkerShared
 	workers []*poolWorker
 	wg      sync.WaitGroup
 	streams sync.WaitGroup
@@ -138,13 +139,12 @@ func buildPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
 	if opts.Mode != ShardByFeed && opts.Mode != ShardByGroup {
 		return nil, fmt.Errorf("engine: unknown shard mode %d", opts.Mode)
 	}
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("engine: no queries")
-	}
-	if opts.Mode == ShardByFeed {
+	// An empty query set is valid, mirroring engine.New: the pool idles
+	// until queries arrive via AddQuery.
+	if opts.Mode == ShardByFeed || len(queries) == 0 {
 		// Validate queries and options up front so lazy per-feed engine
-		// construction inside workers cannot fail. ShardByGroup skips
-		// this: its eager per-shard New calls below cover validation.
+		// construction inside workers cannot fail. Non-empty ShardByGroup
+		// skips this: its eager per-shard New calls below cover validation.
 		if _, err := New(queries, opts.Engine); err != nil {
 			return nil, err
 		}
@@ -152,10 +152,16 @@ func buildPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
 
 	p := &Pool{opts: opts, queries: queries, done: make(chan struct{})}
 	shared := &poolWorkerShared{mode: opts.Mode, queries: queries, engOpts: opts.Engine}
+	p.shared = shared
 
 	var parts [][]cnf.Query
 	if opts.Mode == ShardByGroup {
 		parts = partitionByWindow(queries, opts.Workers)
+		if len(queries) == 0 {
+			// No window groups yet: keep every requested shard, each with
+			// an idle engine, so dynamic queries can spread across them.
+			parts = make([][]cnf.Query, opts.Workers)
+		}
 		if len(parts) < opts.Workers {
 			opts.Workers = len(parts) // fewer window groups than workers
 			p.opts.Workers = opts.Workers
@@ -178,6 +184,25 @@ func buildPool(queries []cnf.Query, opts PoolOptions) (*Pool, error) {
 		p.workers = append(p.workers, w)
 	}
 	return p, nil
+}
+
+// newPoolShell constructs a pool with the recorded worker count and no
+// engines, for snapshot restore: the caller installs decoded engines
+// into the workers and then calls start. It deliberately skips
+// buildPool's window-group partitioning — the snapshot records which
+// shard holds which groups, and dynamic registration may have placed
+// them where fresh partitioning would not.
+func newPoolShell(queries []cnf.Query, opts PoolOptions) *Pool {
+	p := &Pool{opts: opts, queries: queries, done: make(chan struct{})}
+	p.shared = &poolWorkerShared{mode: opts.Mode, queries: queries, engOpts: opts.Engine}
+	for i := 0; i < opts.Workers; i++ {
+		w := &poolWorker{pool: p.shared, in: make(chan *poolJob, 1)}
+		if opts.Mode == ShardByFeed {
+			w.feeds = make(map[FeedID]*Engine)
+		}
+		p.workers = append(p.workers, w)
+	}
+	return p
 }
 
 // start launches the worker goroutines; the pool is usable afterwards.
@@ -327,8 +352,12 @@ func (p *Pool) processByFeed(frames []FeedFrame) []FeedResult {
 
 // processByGroup fans the whole batch out to every shard and merges each
 // frame's matches by concatenating the shard columns in worker order;
-// shards hold ascending window ranges, so the concatenation reproduces a
-// single engine's match order exactly.
+// shards hold ascending window ranges, so for the construction-time
+// query set the concatenation reproduces a single engine's match order
+// exactly. Once AddQuery has routed a new window size to a shard,
+// cross-query order within a frame may differ from a single engine's
+// (which appends new groups at the end of its own iteration order);
+// the per-query match streams remain identical.
 func (p *Pool) processByGroup(frames []FeedFrame) []FeedResult {
 	cols := make([][][]query.Match, len(p.workers))
 	var done sync.WaitGroup
@@ -442,6 +471,13 @@ func (p *Pool) Method() Method {
 	}
 	return p.opts.Engine.Method
 }
+
+// Pruned reports whether the pool's engines run §5.3 result-driven
+// pruning.
+func (p *Pool) Pruned() bool { return p.opts.Engine.Prune }
+
+// WindowMode reports the pool's window semantics.
+func (p *Pool) WindowMode() WindowMode { return p.opts.Engine.Windows }
 
 // Queries returns the pool's query set, in registration order.
 func (p *Pool) Queries() []cnf.Query {

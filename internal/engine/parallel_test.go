@@ -26,8 +26,15 @@ func poolQueries(t *testing.T) []cnf.Query {
 }
 
 func TestNewPoolValidation(t *testing.T) {
-	if _, err := NewPool(nil, PoolOptions{}); err == nil {
-		t.Error("no queries accepted")
+	// An empty query set is a valid serving-shaped pool: frames flow,
+	// nothing matches, queries arrive later via Pool.AddQuery.
+	empty, err := NewPool(nil, PoolOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("empty query set rejected: %v", err)
+	}
+	defer empty.Close()
+	if rs := empty.ProcessBatch([]FeedFrame{{Feed: 0}, {Feed: 1}}); len(rs) != 0 {
+		t.Errorf("empty pool produced matches: %v", rs)
 	}
 	qs := poolQueries(t)
 	if _, err := NewPool(qs, PoolOptions{Mode: ShardMode(99)}); err == nil {

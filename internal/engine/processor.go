@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"io"
+
+	"tvq/internal/cnf"
+	"tvq/internal/vr"
+)
+
+// Processor is the unified execution contract behind the tvq Session
+// facade: one implementation runs a single engine, the other a parallel
+// pool, and callers cannot tell them apart. All methods follow the
+// single-caller discipline of the underlying types — invoke them from
+// one goroutine, never concurrently with Process.
+type Processor interface {
+	// Process runs one batch of frames and returns the frames that
+	// produced at least one match, in ingestion order.
+	Process(frames []FeedFrame) []FeedResult
+	// AddQuery registers a query on the live processor; see
+	// Engine.AddQuery for the sharing/restart semantics and the
+	// ErrDuplicateQuery / ErrPruningIncompatible failure modes.
+	AddQuery(q cnf.Query) error
+	// RemoveQuery deregisters a query, reporting whether it was present.
+	RemoveQuery(id int) (bool, error)
+	// Queries returns all registered queries.
+	Queries() []cnf.Query
+	// Method returns the MCOS maintenance strategy in use.
+	Method() Method
+	// Pruned reports whether §5.3 result-driven pruning is enabled.
+	Pruned() bool
+	// WindowMode reports sliding or tumbling window semantics.
+	WindowMode() WindowMode
+	// StateCount reports live states across all shards, for
+	// instrumentation.
+	StateCount() int
+	// NextFID returns the id of the next frame expected for feed.
+	NextFID(feed FeedID) vr.FrameID
+	// Snapshot serializes complete processor state to w.
+	Snapshot(w io.Writer) error
+	// Close releases goroutines and other resources; idempotent.
+	Close()
+}
+
+// Compile-time checks that both execution strategies satisfy the
+// contract.
+var (
+	_ Processor = Single{}
+	_ Processor = (*Pool)(nil)
+)
+
+// Single adapts an Engine to the Processor contract for a one-feed
+// deployment: frames must belong to feed 0 and arrive in frame-id
+// order, exactly as Engine.ProcessFrame demands.
+type Single struct{ *Engine }
+
+// Process runs the batch through the wrapped engine, frame by frame.
+func (s Single) Process(frames []FeedFrame) []FeedResult {
+	var out []FeedResult
+	for _, ff := range frames {
+		if ff.Feed != 0 {
+			panic("engine: single-engine processor serves feed 0 only")
+		}
+		if ms := s.Engine.ProcessFrame(ff.Frame); len(ms) > 0 {
+			out = append(out, FeedResult{Feed: 0, FID: ff.Frame.FID, Matches: ms})
+		}
+	}
+	return out
+}
+
+// NextFID returns the engine's feed cursor; the feed argument exists to
+// satisfy the Processor contract and is ignored (a Single serves only
+// feed 0).
+func (s Single) NextFID(FeedID) vr.FrameID { return s.Engine.NextFID() }
+
+// Close is a no-op: a bare engine owns no goroutines.
+func (s Single) Close() {}
+
+// Process is ProcessBatch under the Processor contract's name.
+func (p *Pool) Process(frames []FeedFrame) []FeedResult { return p.ProcessBatch(frames) }

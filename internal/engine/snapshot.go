@@ -29,26 +29,6 @@ const (
 	payloadPool   = "pool"
 )
 
-// SnapshotKind reports whether the snapshot in r holds an "engine" or a
-// "pool", verifying the container framing (magic, version, checksum)
-// along the way, so callers can route to Restore or RestorePool without
-// guessing. It consumes r.
-func SnapshotKind(r io.Reader) (string, error) {
-	payload, err := snapshot.Read(r)
-	if err != nil {
-		return "", err
-	}
-	sr := snapshot.NewReader(payload)
-	kind := sr.String()
-	if err := sr.Err(); err != nil {
-		return "", err
-	}
-	if kind != payloadEngine && kind != payloadPool {
-		return "", fmt.Errorf("engine: snapshot holds unknown state kind %q", kind)
-	}
-	return kind, nil
-}
-
 // Snapshot serializes the engine's complete state to w. The engine must
 // be quiescent (no concurrent ProcessFrame or active Stream); the engine
 // is not mutated and may continue processing afterwards.
@@ -78,7 +58,7 @@ func Restore(r io.Reader, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	if kind != payloadEngine {
-		return nil, fmt.Errorf("engine: snapshot holds a %q, not an engine (use RestorePool for pool snapshots)", kind)
+		return nil, fmt.Errorf("engine: %w: snapshot holds a %q, not an engine (use RestorePool for pool snapshots)", ErrSnapshotMismatch, kind)
 	}
 	e, err := decodeEngine(sr, opts)
 	if err != nil {
@@ -138,7 +118,7 @@ func decodeEngine(sr *snapshot.Reader, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("engine: snapshot records unknown window mode %d", windows)
 	}
 	if opts.Method != "" && opts.Method != method {
-		return nil, fmt.Errorf("engine: snapshot was taken with method %q; cannot restore as %q", method, opts.Method)
+		return nil, fmt.Errorf("engine: %w: snapshot was taken with method %q; cannot restore as %q", ErrSnapshotMismatch, method, opts.Method)
 	}
 	reg := opts.Registry
 	if reg == nil {
@@ -146,7 +126,7 @@ func decodeEngine(sr *snapshot.Reader, opts Options) (*Engine, error) {
 	} else {
 		for i, name := range names {
 			if got := reg.Name(vr.Class(i)); got != name {
-				return nil, fmt.Errorf("engine: registry mismatch: snapshot class %d is %q, supplied registry has %q", i, name, got)
+				return nil, fmt.Errorf("engine: %w: registry mismatch: snapshot class %d is %q, supplied registry has %q", ErrSnapshotMismatch, i, name, got)
 			}
 		}
 	}
@@ -353,7 +333,7 @@ func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
 		return nil, err
 	}
 	if kind != payloadPool {
-		return nil, fmt.Errorf("engine: snapshot holds a %q, not a pool (use Restore for engine snapshots)", kind)
+		return nil, fmt.Errorf("engine: %w: snapshot holds a %q, not a pool (use Restore for engine snapshots)", ErrSnapshotMismatch, kind)
 	}
 
 	mode := ShardMode(sr.Int())
@@ -375,16 +355,16 @@ func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
 		return nil, fmt.Errorf("engine: snapshot records invalid pool shape (%d workers, batch %d)", workers, batch)
 	}
 	if opts.Workers > 0 && opts.Workers != workers {
-		return nil, fmt.Errorf("engine: snapshot was taken with %d workers; cannot restore with %d", workers, opts.Workers)
+		return nil, fmt.Errorf("engine: %w: snapshot was taken with %d workers; cannot restore with %d", ErrSnapshotMismatch, workers, opts.Workers)
 	}
 	if opts.Batch > 0 && opts.Batch != batch {
-		return nil, fmt.Errorf("engine: snapshot was taken with batch %d; cannot restore with %d", batch, opts.Batch)
+		return nil, fmt.Errorf("engine: %w: snapshot was taken with batch %d; cannot restore with %d", ErrSnapshotMismatch, batch, opts.Batch)
 	}
 	if opts.Mode != mode && opts.Mode != ShardByFeed {
-		return nil, fmt.Errorf("engine: snapshot was taken in shard mode %d; cannot restore in mode %d", mode, opts.Mode)
+		return nil, fmt.Errorf("engine: %w: snapshot was taken in shard mode %d; cannot restore in mode %d", ErrSnapshotMismatch, mode, opts.Mode)
 	}
 	if opts.Engine.Method != "" && opts.Engine.Method != method {
-		return nil, fmt.Errorf("engine: snapshot was taken with method %q; cannot restore as %q", method, opts.Engine.Method)
+		return nil, fmt.Errorf("engine: %w: snapshot was taken with method %q; cannot restore as %q", ErrSnapshotMismatch, method, opts.Engine.Method)
 	}
 	reg := opts.Engine.Registry
 	if reg == nil {
@@ -392,23 +372,21 @@ func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
 	} else {
 		for i, name := range names {
 			if got := reg.Name(vr.Class(i)); got != name {
-				return nil, fmt.Errorf("engine: registry mismatch: snapshot class %d is %q, supplied registry has %q", i, name, got)
+				return nil, fmt.Errorf("engine: %w: registry mismatch: snapshot class %d is %q, supplied registry has %q", ErrSnapshotMismatch, i, name, got)
 			}
 		}
 	}
 
-	p, err := buildPool(queries, PoolOptions{
+	// A shell, not buildPool: the snapshot records exactly which shard
+	// holds which engines (dynamic registration can place window groups
+	// where fresh partitioning would not), so the restore installs the
+	// decoded engines into empty workers instead of re-partitioning.
+	p := newPoolShell(queries, PoolOptions{
 		Workers: workers,
 		Mode:    mode,
 		Batch:   batch,
 		Engine:  Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows},
 	})
-	if err != nil {
-		return nil, err
-	}
-	if len(p.workers) != workers {
-		return nil, fmt.Errorf("engine: snapshot records %d shards but queries partition into %d", workers, len(p.workers))
-	}
 
 	if mode == ShardByGroup {
 		for _, w := range p.workers {

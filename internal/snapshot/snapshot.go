@@ -79,6 +79,13 @@ func (w *Writer) String(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// Blob appends a length-prefixed byte slice without converting it to a
+// string first; wire-compatible with String/Reader.Blob.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
 // Reader decodes a snapshot payload. Decoding errors are sticky: after
 // the first failure every further read returns a zero value, and Err
 // reports the first error. Callers check Err at section boundaries
@@ -173,6 +180,23 @@ func (r *Reader) String() string {
 	s := string(r.buf[r.off : r.off+int(n)])
 	r.off += int(n)
 	return s
+}
+
+// Blob reads a length-prefixed byte slice written by Writer.Blob (or
+// Writer.String — the encodings are identical), returning a subslice of
+// the payload without copying. The caller must not modify it.
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail("blob length %d exceeds remaining %d bytes", n, r.Remaining())
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
 }
 
 // Count reads an element count and validates it against the remaining

@@ -1,0 +1,760 @@
+package tvq
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"tvq/internal/engine"
+	"tvq/internal/snapshot"
+)
+
+// Session payload kind in the snapshot container; engine and pool
+// payloads keep their own kinds so v1 snapshot files remain readable.
+const payloadSession = "session"
+
+// Session is the v2 entry point: one long-running query-serving
+// surface over a video feed (or a bank of feeds), backed by either a
+// single engine or a parallel pool — the choice is made at Open from
+// WithWorkers/WithShardMode and is invisible afterwards.
+//
+// A Session implements the unified processor contract — Process, Run,
+// Stream, Snapshot, Close — and adds dynamic, per-caller query
+// registration: Subscribe attaches a query (and optionally a Sink that
+// receives its matches) while frames are flowing, Subscription.Cancel
+// detaches it. Matches of subscribed queries are delivered to their
+// sinks and still appear in Process/Run/Stream results alongside the
+// Open-time queries' matches. Each query's own match stream is
+// identical across execution shapes; after dynamic registration the
+// relative order of *different* queries' matches within one frame may
+// differ between single-engine and pooled sessions.
+//
+// Methods that touch frames (Process, ProcessFrame, Run, Stream,
+// Snapshot, Subscribe, Cancel) follow the engine's single-caller
+// discipline: invoke them from one goroutine. Sink consumers (e.g.
+// ranging over a ChanSink) run concurrently by design, and Close may
+// be called from any other goroutine — cancelling the context passed
+// to Open closes the session (see Close for the one restriction).
+type Session struct {
+	cfg    config
+	proc   engine.Processor
+	pool   *engine.Pool // nil for single-engine sessions
+	ck     checkpointer
+	cancel func() bool // stops the context watcher
+
+	// procMu serializes processing, registration, snapshots and
+	// teardown — everything that touches the processor.
+	procMu sync.Mutex
+
+	// mu guards the subscription table and lifecycle flags; it is
+	// never held across a Deliver call, so sink consumers can cancel
+	// subscriptions without deadlocking a blocked delivery.
+	mu      sync.Mutex
+	subs    map[int]*Subscription
+	pending []*Subscription // cancelled, awaiting removal from proc
+	done    chan struct{}   // closed when the session closes
+	closed  bool
+	err     error
+}
+
+// Open builds a session. The zero configuration — tvq.Open(ctx) — is a
+// single-engine SSG session over the standard registry with no queries
+// yet, ready to serve Subscribe calls; options select the strategy,
+// registry, parallelism and checkpointing:
+//
+//	s, err := tvq.Open(ctx,
+//		tvq.WithQueries(q1, q2),
+//		tvq.WithMethod(tvq.MethodMFS),
+//		tvq.WithWorkers(4), tvq.WithShardMode(tvq.ShardByFeed),
+//		tvq.WithCheckpoint("run.tvqsnap", tvq.EveryFrames(500)),
+//	)
+//
+// Cancelling ctx closes the session (a nil ctx means Background).
+// Close it explicitly when done; a pooled session owns goroutines.
+func Open(ctx context.Context, opts ...Option) (*Session, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	assignQueryIDs(cfg.queries)
+
+	s := &Session{cfg: cfg, subs: make(map[int]*Subscription), done: make(chan struct{})}
+	if cfg.workersSet && cfg.workers > 1 || cfg.modeSet {
+		pool, err := engine.NewPool(cfg.queries, engine.PoolOptions{
+			Workers: cfg.workers,
+			Mode:    cfg.mode,
+			Batch:   cfg.batch,
+			Engine:  cfg.eng,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.proc, s.pool = pool, pool
+	} else {
+		eng, err := engine.New(cfg.queries, cfg.eng)
+		if err != nil {
+			return nil, err
+		}
+		s.proc = engine.Single{Engine: eng}
+	}
+	s.initCheckpointer()
+	s.watchContext(ctx)
+	return s, nil
+}
+
+// assignQueryIDs gives every zero-ID query the next free positive id.
+func assignQueryIDs(queries []Query) {
+	next := 1
+	used := make(map[int]bool, len(queries))
+	for _, q := range queries {
+		used[q.ID] = true
+	}
+	for i := range queries {
+		if queries[i].ID != 0 {
+			continue
+		}
+		for used[next] {
+			next++
+		}
+		queries[i].ID = next
+		used[next] = true
+	}
+}
+
+func (s *Session) initCheckpointer() {
+	s.ck = checkpointer{path: s.cfg.ckPath, every: s.cfg.ckEvery, last: time.Now()}
+}
+
+func (s *Session) watchContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.cancel = context.AfterFunc(ctx, func() { _ = s.Close() })
+}
+
+// Process runs one batch of frames through the session and returns the
+// frames that produced at least one match, in ingestion order. Matches
+// of subscribed queries are additionally delivered to their sinks
+// before Process returns. Single-engine sessions accept only feed 0
+// with consecutive frame ids; pooled sessions follow their shard mode's
+// input contract (see ShardByFeed / ShardByGroup).
+func (s *Session) Process(frames []FeedFrame) ([]FeedResult, error) {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	return s.processLocked(frames)
+}
+
+func (s *Session) processLocked(frames []FeedFrame) ([]FeedResult, error) {
+	if s.isClosed() {
+		return nil, ErrSessionClosed
+	}
+	if s.pool == nil {
+		for _, ff := range frames {
+			if ff.Feed != 0 {
+				return nil, fmt.Errorf("tvq: single-engine session serves feed 0 only, got feed %d; open with WithWorkers/WithShardMode(ShardByFeed) for multi-feed input", ff.Feed)
+			}
+		}
+	}
+	s.applyPendingLocked()
+	results := s.proc.Process(frames)
+	if err := s.deliverLocked(results); err != nil {
+		s.setErr(err)
+		return results, err
+	}
+	if s.ck.due(len(frames)) {
+		if err := s.ck.write(s.snapshotLocked); err != nil {
+			s.setErr(err)
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// ProcessFrame is Process for a single frame of feed 0, returning just
+// its matches.
+func (s *Session) ProcessFrame(f Frame) ([]Match, error) {
+	results, err := s.Process([]FeedFrame{{Frame: f}})
+	if len(results) > 0 {
+		return results[0].Matches, err
+	}
+	return nil, err
+}
+
+// applyPendingLocked (procMu held) completes cancellations queued by
+// Subscription.Cancel: the queries leave the processor before the next
+// frame is evaluated, and channel sinks are closed now that no delivery
+// can be in flight.
+func (s *Session) applyPendingLocked() {
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, sub := range pending {
+		_, _ = s.proc.RemoveQuery(sub.q.ID)
+		if b, ok := sub.sink.(sessionBound); ok {
+			b.closeSink()
+		}
+	}
+}
+
+// deliverLocked routes each match of a subscribed query to its sink.
+func (s *Session) deliverLocked(results []FeedResult) error {
+	for _, r := range results {
+		for _, m := range r.Matches {
+			// Snapshot the sink while holding mu: Attach replaces it
+			// under the same lock, possibly from another goroutine.
+			s.mu.Lock()
+			var sink Sink
+			if sub := s.subs[m.QueryID]; sub != nil && !sub.cancelled {
+				sink = sub.sink
+			}
+			s.mu.Unlock()
+			if sink == nil {
+				continue
+			}
+			if err := sink.Deliver(Delivery{Feed: r.Feed, FID: r.FID, Match: m}); err != nil {
+				return fmt.Errorf("tvq: subscription %d sink: %w", m.QueryID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Run processes the remainder of the trace — frames from the session's
+// cursor (zero on a fresh session, the resume point after Resume) to
+// the end — through feed 0 and returns the frames that produced
+// matches. Pooled ShardByFeed sessions use Process with explicit feed
+// ids instead for multi-feed input.
+func (s *Session) Run(t *Trace) ([]FrameResult, error) {
+	start := s.NextFID(0)
+	if start > int64(t.Len()) {
+		return nil, fmt.Errorf("tvq: session has processed %d frames but the trace has only %d: %w",
+			start, t.Len(), ErrSnapshotMismatch)
+	}
+	frames := t.Frames()[start:]
+	batch := s.batchSize()
+	var out []FrameResult
+	for i := 0; i < len(frames); i += batch {
+		end := min(i+batch, len(frames))
+		ffs := make([]FeedFrame, 0, end-i)
+		for _, f := range frames[i:end] {
+			ffs = append(ffs, FeedFrame{Frame: f})
+		}
+		results, err := s.Process(ffs)
+		for _, r := range results {
+			out = append(out, FrameResult{FID: r.FID, Matches: r.Matches})
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (s *Session) batchSize() int {
+	if s.cfg.batch > 0 {
+		return s.cfg.batch
+	}
+	return engine.DefaultBatch
+}
+
+// Subscribe registers a query on the live session and returns its
+// subscription. The query's matches start with the next processed
+// frame — joining an existing window group it shares that group's
+// history, opening a new window size it starts fresh (see
+// Engine.AddQuery) — and are delivered to the subscription's sink, if
+// one was attached with WithSink, as well as returned from
+// Process/Run/Stream. A zero q.ID is assigned the next free positive
+// id. Subscribe fails with ErrDuplicateQuery for a taken id and with
+// ErrPruningIncompatible under WithPruning.
+func (s *Session) Subscribe(q Query, opts ...SubOption) (*Subscription, error) {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	if s.isClosed() {
+		return nil, ErrSessionClosed
+	}
+	s.applyPendingLocked()
+
+	var sc subConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&sc)
+		}
+	}
+	if q.ID == 0 {
+		q.ID = s.nextQueryID()
+	}
+	if err := s.proc.AddQuery(q); err != nil {
+		return nil, err
+	}
+	sub := &Subscription{s: s, q: q, sink: sc.sink, done: make(chan struct{})}
+	if b, ok := sc.sink.(sessionBound); ok {
+		b.bind(sub.done, s.done)
+	}
+	s.mu.Lock()
+	s.subs[q.ID] = sub
+	s.mu.Unlock()
+	return sub, nil
+}
+
+// nextQueryID picks the smallest positive id not in use (procMu held).
+func (s *Session) nextQueryID() int {
+	used := make(map[int]bool)
+	for _, q := range s.proc.Queries() {
+		used[q.ID] = true
+	}
+	id := 1
+	for used[id] {
+		id++
+	}
+	return id
+}
+
+// Subscriptions returns the live subscriptions, ordered by query id.
+// After Resume it lists the subscriptions recorded in the snapshot.
+func (s *Session) Subscriptions() []*Subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Subscription, 0, len(s.subs))
+	for _, sub := range s.subs {
+		out = append(out, sub)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].q.ID < out[j].q.ID })
+	return out
+}
+
+// SubOption configures one subscription.
+type SubOption func(*subConfig)
+
+type subConfig struct {
+	sink Sink
+}
+
+// WithSink attaches a delivery sink to the subscription: a SinkFunc
+// callback, a ChanSink channel, a JSONLSink writer, or any custom Sink.
+func WithSink(sink Sink) SubOption {
+	return func(sc *subConfig) { sc.sink = sink }
+}
+
+// Subscription is one dynamically registered query on a session.
+type Subscription struct {
+	s    *Session
+	q    Query
+	sink Sink
+	done chan struct{}
+
+	cancelled bool // guarded by s.mu
+}
+
+// Query returns the subscribed query (with its assigned ID).
+func (sub *Subscription) Query() Query { return sub.q }
+
+// ID returns the subscription's query id.
+func (sub *Subscription) ID() int { return sub.q.ID }
+
+// Cancel detaches the subscription: deliveries to its sink stop
+// immediately, the query stops being evaluated before the next
+// processed frame, and the sink's channel (if any) is closed at that
+// point. Cancel is safe to call from a sink consumer goroutine and is
+// idempotent. Cancellation is always sound, including under pruning.
+func (sub *Subscription) Cancel() error {
+	s := sub.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub.cancelled || s.closed {
+		return nil
+	}
+	sub.cancelled = true
+	close(sub.done)
+	delete(s.subs, sub.q.ID)
+	s.pending = append(s.pending, sub)
+	return nil
+}
+
+// Attach sets the subscription's sink — how a Resume caller reconnects
+// delivery for a restored subscription when WithSubscriptionSinks was
+// not used. Attach replaces any previous sink; it does not close it.
+func (sub *Subscription) Attach(sink Sink) {
+	s := sub.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := sink.(sessionBound); ok {
+		b.bind(sub.done, s.done)
+	}
+	sub.sink = sink
+}
+
+// Snapshot serializes the complete session state — processor, queries
+// (including subscribed ones) and the set of live subscriptions — as a
+// versioned, checksummed stream. Resume restores it; sinks are
+// reattached by the caller (they hold live resources and cannot be
+// serialized). Like Process, call it from the session's goroutine.
+func (s *Session) Snapshot(w io.Writer) error {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	if s.isClosed() {
+		return ErrSessionClosed
+	}
+	s.applyPendingLocked()
+	return s.snapshotLocked(w)
+}
+
+func (s *Session) snapshotLocked(w io.Writer) error {
+	var sw snapshot.Writer
+	sw.String(payloadSession)
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.subs))
+	for id := range s.subs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Ints(ids)
+	sw.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		sw.Int(id)
+	}
+	var buf bytes.Buffer
+	if err := s.proc.Snapshot(&buf); err != nil {
+		return err
+	}
+	sw.Blob(buf.Bytes())
+	return snapshot.Write(w, sw.Bytes())
+}
+
+// Resume rebuilds a session from a snapshot written by
+// Session.Snapshot (or by a v1 Engine.Snapshot / Pool.Snapshot — the
+// stream records which it holds). The session continues exactly where
+// the original stopped: NextFID reports where to resume the feed, and
+// feeding the remaining frames emits the matches an uninterrupted run
+// would have. Recorded state wins; options supply the registry to share
+// with the caller's codecs, cross-checks (WithMethod, WithWorkers — a
+// disagreement is an ErrSnapshotMismatch), checkpointing for the
+// resumed run, and sinks for restored subscriptions
+// (WithSubscriptionSinks, or Subscription.Attach afterwards).
+func Resume(ctx context.Context, r io.Reader, opts ...Option) (*Session, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.queries) > 0 {
+		return nil, fmt.Errorf("tvq: %w: Resume restores the recorded query set; register further queries with Subscribe, not WithQueries", ErrSnapshotMismatch)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// One outer parse decides the kind and, for session snapshots,
+	// yields the subscription ids and the embedded processor snapshot;
+	// only the embedded container is parsed again, by its restorer.
+	payload, err := snapshot.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	sr := snapshot.NewReader(payload)
+	kind := sr.String()
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+
+	var subIDs []int
+	procData := data
+	if kind == payloadSession {
+		subIDs, procData, err = decodeSessionBody(sr)
+		if err != nil {
+			return nil, err
+		}
+		if kind, err = sniffKind(bytes.NewReader(procData)); err != nil {
+			return nil, err
+		}
+	}
+
+	s := &Session{cfg: cfg, subs: make(map[int]*Subscription), done: make(chan struct{})}
+	switch kind {
+	case "engine":
+		if cfg.workersSet && cfg.workers > 1 {
+			return nil, fmt.Errorf("tvq: %w: snapshot holds a single engine; cannot restore with %d workers",
+				ErrSnapshotMismatch, cfg.workers)
+		}
+		if cfg.modeSet {
+			return nil, fmt.Errorf("tvq: %w: snapshot holds a single engine; WithShardMode does not apply", ErrSnapshotMismatch)
+		}
+		eng, err := engine.Restore(bytes.NewReader(procData), engine.Options{
+			Method:   cfg.eng.Method,
+			Registry: cfg.eng.Registry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.proc = engine.Single{Engine: eng}
+	case "pool":
+		popts := engine.PoolOptions{Engine: engine.Options{
+			Method:   cfg.eng.Method,
+			Registry: cfg.eng.Registry,
+		}}
+		if cfg.workersSet {
+			popts.Workers = cfg.workers
+		}
+		if cfg.modeSet {
+			popts.Mode = cfg.mode
+		}
+		pool, err := engine.RestorePool(bytes.NewReader(procData), popts)
+		if err != nil {
+			return nil, err
+		}
+		s.proc, s.pool = pool, pool
+	default:
+		return nil, fmt.Errorf("tvq: snapshot holds unknown state kind %q", kind)
+	}
+
+	// Cross-check the remaining explicit options against what the
+	// snapshot recorded — recorded state wins, silent disagreement is
+	// worse than an error.
+	if cfg.pruneSet && cfg.eng.Prune != s.proc.Pruned() {
+		s.proc.Close()
+		return nil, fmt.Errorf("tvq: %w: snapshot was taken with pruning=%v; cannot restore with pruning=%v",
+			ErrSnapshotMismatch, s.proc.Pruned(), cfg.eng.Prune)
+	}
+	if cfg.windowsSet && cfg.eng.Windows != s.proc.WindowMode() {
+		s.proc.Close()
+		return nil, fmt.Errorf("tvq: %w: snapshot was taken with window mode %d; cannot restore with %d",
+			ErrSnapshotMismatch, s.proc.WindowMode(), cfg.eng.Windows)
+	}
+
+	// Recreate the recorded subscriptions around their (restored)
+	// queries.
+	byID := make(map[int]Query)
+	for _, q := range s.proc.Queries() {
+		byID[q.ID] = q
+	}
+	for _, id := range subIDs {
+		q, ok := byID[id]
+		if !ok {
+			s.proc.Close()
+			return nil, fmt.Errorf("tvq: %w: snapshot records subscription %d but no such query", ErrSnapshotMismatch, id)
+		}
+		sub := &Subscription{s: s, q: q, done: make(chan struct{})}
+		if cfg.subSinks != nil {
+			if sink := cfg.subSinks(q); sink != nil {
+				if b, ok := sink.(sessionBound); ok {
+					b.bind(sub.done, s.done)
+				}
+				sub.sink = sink
+			}
+		}
+		s.subs[id] = sub
+	}
+	s.initCheckpointer()
+	s.watchContext(ctx)
+	return s, nil
+}
+
+// sniffKind reads the payload kind of the snapshot container in r,
+// verifying its framing (magic, version, checksum); it consumes r.
+func sniffKind(r io.Reader) (string, error) {
+	payload, err := snapshot.Read(r)
+	if err != nil {
+		return "", err
+	}
+	sr := snapshot.NewReader(payload)
+	kind := sr.String()
+	return kind, sr.Err()
+}
+
+// decodeSessionBody unpacks the rest of a session snapshot — the kind
+// tag has already been consumed from sr — into its recorded
+// subscription ids and the embedded processor snapshot.
+func decodeSessionBody(sr *snapshot.Reader) (subIDs []int, procData []byte, err error) {
+	n := sr.Count(1)
+	for i := 0; i < n; i++ {
+		subIDs = append(subIDs, sr.Int())
+	}
+	procData = sr.Blob()
+	if err := sr.Err(); err != nil {
+		return nil, nil, err
+	}
+	if sr.Remaining() != 0 {
+		return nil, nil, fmt.Errorf("tvq: %d trailing bytes after session state", sr.Remaining())
+	}
+	return subIDs, procData, nil
+}
+
+// Close ends the session: the context watcher stops, in-flight channel
+// deliveries unblock, the processor's goroutines shut down, every
+// subscription channel closes, and — when WithCheckpoint is configured
+// — a final checkpoint is written (a write failure is returned and
+// also recorded for Err). Close is idempotent and safe to call from
+// any goroutine except inside a Sink.Deliver on the processing path —
+// there it would deadlock on the session's own processing lock; to
+// stop the session from a sink, return an error from Deliver (it
+// surfaces from Process) and Close outside. After Close every
+// operation returns ErrSessionClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done) // unblocks sinks so an in-flight Process can finish
+	s.mu.Unlock()
+	if s.cancel != nil {
+		s.cancel()
+	}
+
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	s.applyPendingLocked() // cancelled queries must not reach the final checkpoint
+	var err error
+	if s.ck.path != "" {
+		if err = s.ck.write(s.snapshotLocked); err != nil {
+			// Close may run from the context watcher, where nobody sees
+			// the return value; record the failure so Err surfaces it.
+			s.setErr(err)
+		}
+	}
+	s.proc.Close()
+	s.mu.Lock()
+	subs := make([]*Subscription, 0, len(s.subs)+len(s.pending))
+	for _, sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	subs = append(subs, s.pending...)
+	s.pending = nil
+	s.mu.Unlock()
+	for _, sub := range subs {
+		if b, ok := sub.sink.(sessionBound); ok {
+			b.closeSink()
+		}
+	}
+	return err
+}
+
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// setErr records the session's first error, surfaced by Err.
+func (s *Session) setErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first error the session hit on a path that could not
+// report it directly — a Stream iteration or a cadence checkpoint.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Queries returns all registered queries, initial and subscribed.
+func (s *Session) Queries() []Query {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	return s.proc.Queries()
+}
+
+// Method returns the MCOS maintenance strategy the session runs.
+func (s *Session) Method() Method {
+	return s.proc.Method()
+}
+
+// Workers returns the number of parallel engine shards (one for a
+// single-engine session).
+func (s *Session) Workers() int {
+	if s.pool != nil {
+		return s.pool.Workers()
+	}
+	return 1
+}
+
+// Pooled reports whether the session runs a parallel pool.
+func (s *Session) Pooled() bool { return s.pool != nil }
+
+// StateCount reports live MCOS states across all shards, for
+// instrumentation.
+func (s *Session) StateCount() int {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	return s.proc.StateCount()
+}
+
+// NextFID returns the id of the next frame the session expects for
+// feed — equal to the frames processed so far, and, after Resume, where
+// to pick the feed back up.
+func (s *Session) NextFID(feed FeedID) FrameID {
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	return s.proc.NextFID(feed)
+}
+
+// checkpointer writes session snapshots to a path on a frame-count or
+// wall-clock cadence, atomically (temp file + fsync + rename) so a
+// crash during a write never clobbers the previous good checkpoint.
+type checkpointer struct {
+	path   string
+	every  Cadence
+	frames int
+	last   time.Time
+}
+
+// due reports whether a checkpoint should be written after n more
+// processed frames.
+func (c *checkpointer) due(n int) bool {
+	if c.path == "" {
+		return false
+	}
+	c.frames += n
+	if c.every.Frames > 0 && c.frames >= c.every.Frames {
+		return true
+	}
+	if c.every.Interval > 0 && time.Since(c.last) >= c.every.Interval {
+		return true
+	}
+	return false
+}
+
+// write snapshots via snap into path atomically and resets the cadence.
+func (c *checkpointer) write(snap func(io.Writer) error) error {
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tvq: checkpoint: %w", err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tvq: checkpoint: %w", err)
+	}
+	if err := snap(f); err != nil {
+		return fail(err)
+	}
+	// Flush to stable storage before the rename becomes visible:
+	// without this a power loss can persist the rename but not the
+	// data, leaving a truncated file where the previous good
+	// checkpoint was.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tvq: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tvq: checkpoint: %w", err)
+	}
+	c.frames = 0
+	c.last = time.Now()
+	return nil
+}

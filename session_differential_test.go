@@ -1,0 +1,387 @@
+package tvq_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tvq"
+)
+
+// Differential harness for the Session API: randomized traces with a
+// mid-trace subscribe/cancel schedule must behave identically on
+// single-engine and pooled sessions, and the subscribed query's match
+// stream must agree with a fresh static run over the trace suffix it
+// actually observed. Every workload lives in a subtest named by its
+// seed:
+//
+//	go test -run 'TestDifferentialSessionSubscribe/seed=6003' .
+
+// sessionKinds are the execution shapes under test; every one must be
+// observationally identical through the Session API.
+var sessionKinds = []struct {
+	name string
+	opts []tvq.Option
+}{
+	{"single", nil},
+	{"pool-bygroup", []tvq.Option{tvq.WithWorkers(2), tvq.WithShardMode(tvq.ShardByGroup)}},
+	{"pool-byfeed", []tvq.Option{tvq.WithWorkers(2), tvq.WithShardMode(tvq.ShardByFeed)}},
+}
+
+var diffClasses = []string{"person", "car", "truck", "bus"}
+
+// randomSessionTrace builds an adversarial trace through the public
+// API: objects flicker in and out, frames repeat, and some frames are
+// empty.
+func randomSessionTrace(t *testing.T, rng *rand.Rand) *tvq.Trace {
+	t.Helper()
+	reg := tvq.StandardRegistry()
+	frames := 40 + rng.Intn(80)
+	nobjects := 4 + rng.Intn(10)
+	class := make([]tvq.Tuple, nobjects)
+	for id := 0; id < nobjects; id++ {
+		class[id] = tvq.Tuple{ID: uint32(id + 1), Class: reg.Class(diffClasses[rng.Intn(len(diffClasses))])}
+	}
+	alive := make(map[int]bool)
+	var tuples []tvq.Tuple
+	emit := func(fid int64) {
+		for id := range class {
+			if alive[id] {
+				tuples = append(tuples, tvq.Tuple{FID: fid, ID: class[id].ID, Class: class[id].Class})
+			}
+		}
+	}
+	for fid := int64(0); fid < int64(frames); fid++ {
+		switch {
+		case fid > 0 && rng.Float64() < 0.1:
+			// repeat the previous frame exactly
+		case rng.Float64() < 0.07:
+			alive = make(map[int]bool) // empty frame
+		default:
+			for id := 0; id < nobjects; id++ {
+				if alive[id] {
+					if rng.Float64() < 0.2 {
+						delete(alive, id)
+					}
+				} else if rng.Float64() < 0.25 {
+					alive[id] = true
+				}
+			}
+		}
+		emit(fid)
+	}
+	tr, err := tvq.NewTraceFromTuples(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// randomCondQuery builds a ≥/≤/=-mixed conjunctive query over the class
+// domain.
+func randomCondQuery(rng *rand.Rand, id, window int) tvq.Query {
+	duration := 1 + rng.Intn(window)
+	text := ""
+	nclauses := 1 + rng.Intn(2)
+	ops := []string{">=", "<=", "="}
+	for c := 0; c < nclauses; c++ {
+		if c > 0 {
+			text += " AND "
+		}
+		text += fmt.Sprintf("%s %s %d", diffClasses[rng.Intn(len(diffClasses))], ops[rng.Intn(len(ops))], rng.Intn(3))
+	}
+	return tvq.MustQuery(id, text, window, duration)
+}
+
+// shiftedKey is a canonical match identity with all frame ids shifted
+// by delta, so a suffix run (frames renumbered from 0) can be compared
+// against the live session's absolute ids.
+func shiftedKey(fid int64, m tvq.Match, delta int64) string {
+	frames := make([]int64, len(m.Frames))
+	for i, f := range m.Frames {
+		frames[i] = f + delta
+	}
+	return fmt.Sprintf("%d|q%d|%v|%v", fid+delta, m.QueryID, m.Objects, frames)
+}
+
+// suffixFrames re-bases the trace's frames [cut:] to start at frame 0,
+// preserving empty frames (a rebuilt trace would drop trailing ones,
+// and windows ending on an empty frame can still match).
+func suffixFrames(tr *tvq.Trace, cut int64) []tvq.Frame {
+	src := tr.Frames()[cut:]
+	out := make([]tvq.Frame, len(src))
+	for i, f := range src {
+		f.FID = int64(i)
+		out[i] = f
+	}
+	return out
+}
+
+// sessionSchedule runs one session kind over the trace with the given
+// subscribe/cancel schedule and returns (per-query match streams, the
+// subscribed query's sink stream).
+func sessionSchedule(t *testing.T, tr *tvq.Trace, base []tvq.Query, subQ tvq.Query, cut1, cut2 int64, opts []tvq.Option) (map[int][]string, []string) {
+	t.Helper()
+	s, err := tvq.Open(nil, append([]tvq.Option{tvq.WithQueries(base...)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var sinkStream []string
+	var sub *tvq.Subscription
+	streams := make(map[int][]string)
+	for _, f := range tr.Frames() {
+		if f.FID == cut1 {
+			sub, err = s.Subscribe(subQ, tvq.WithSink(tvq.SinkFunc(func(d tvq.Delivery) error {
+				sinkStream = append(sinkStream, shiftedKey(d.FID, d.Match, 0))
+				return nil
+			})))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f.FID == cut2 && sub != nil {
+			if err := sub.Cancel(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ms, err := s.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range ms {
+			streams[m.QueryID] = append(streams[m.QueryID], shiftedKey(f.FID, m, 0))
+		}
+	}
+	return streams, sinkStream
+}
+
+func TestDifferentialSessionSubscribe(t *testing.T) {
+	matched := 0
+	for i := 0; i < 15; i++ {
+		seed := int64(6000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomSessionTrace(t, rng)
+			nbase := 1 + rng.Intn(2)
+			base := make([]tvq.Query, nbase)
+			for qi := range base {
+				base[qi] = randomCondQuery(rng, qi+1, 2+rng.Intn(10))
+			}
+			// The subscribed query opens a window size no base query
+			// uses, so its state starts fresh at the subscribe point and
+			// a static run over the suffix is an exact oracle.
+			subWindow := 13 + rng.Intn(6)
+			subQ := randomCondQuery(rng, 50, subWindow)
+			cut1 := int64(tr.Len()/4 + rng.Intn(tr.Len()/4))
+			cut2 := cut1 + 1 + rng.Int63n(int64(tr.Len())-cut1-1)
+
+			var refStreams map[int][]string
+			var refSink []string
+			for _, kind := range sessionKinds {
+				streams, sink := sessionSchedule(t, tr, base, subQ, cut1, cut2, kind.opts)
+				if kind.name == "single" {
+					refStreams, refSink = streams, sink
+					continue
+				}
+				for qid, want := range refStreams {
+					if got := fmt.Sprint(streams[qid]); got != fmt.Sprint(want) {
+						t.Errorf("%s: query %d stream diverges from single-engine session\nrepro: go test -run 'TestDifferentialSessionSubscribe/seed=%d' .", kind.name, qid, seed)
+					}
+				}
+				if len(streams) != len(refStreams) {
+					t.Errorf("%s: query set of streams differs", kind.name)
+				}
+				if fmt.Sprint(sink) != fmt.Sprint(refSink) {
+					t.Errorf("%s: sink stream diverges from single-engine session", kind.name)
+				}
+			}
+
+			// Sink deliveries and result-carried matches must agree.
+			if fmt.Sprint(refSink) != fmt.Sprint(refStreams[subQ.ID]) {
+				t.Errorf("sink stream and result stream disagree for the subscription")
+			}
+
+			// Fresh static oracle over the observed suffix: the
+			// subscription saw frames [cut1, cut2).
+			oracle, err := tvq.Open(nil, tvq.WithQueries(subQ))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer oracle.Close()
+			var want []string
+			for _, f := range suffixFrames(tr, cut1) {
+				if f.FID+cut1 >= cut2 {
+					break
+				}
+				ms, err := oracle.ProcessFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range ms {
+					want = append(want, shiftedKey(f.FID, m, cut1))
+				}
+			}
+			if fmt.Sprint(refSink) != fmt.Sprint(want) {
+				t.Errorf("subscription stream diverges from fresh static run over the suffix (%d vs %d matches)\nrepro: go test -run 'TestDifferentialSessionSubscribe/seed=%d' .",
+					len(refSink), len(want), seed)
+			}
+			matched += len(refSink)
+			for _, st := range refStreams {
+				matched += len(st)
+			}
+		})
+	}
+	if matched == 0 {
+		t.Fatal("no generated workload produced any match; harness is vacuous")
+	}
+}
+
+// TestDifferentialSessionSnapshotResume folds checkpointing in: a
+// session with a live subscription snapshotted at a random cut and
+// resumed must reproduce the uninterrupted run on both session kinds.
+func TestDifferentialSessionSnapshotResume(t *testing.T) {
+	matched := 0
+	for i := 0; i < 10; i++ {
+		seed := int64(7000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomSessionTrace(t, rng)
+			base := []tvq.Query{randomCondQuery(rng, 1, 2+rng.Intn(10))}
+			subQ := randomCondQuery(rng, 50, 13+rng.Intn(6))
+			cut1 := int64(rng.Intn(tr.Len() / 3))                 // subscribe
+			cut3 := cut1 + 1 + rng.Int63n(int64(tr.Len())-cut1-1) // snapshot/crash
+			for _, kind := range sessionKinds[:2] {               // single + pool-bygroup
+				streams, sink := sessionSchedule(t, tr, base, subQ, cut1, int64(tr.Len())+1, kind.opts)
+
+				s, err := tvq.Open(nil, append([]tvq.Option{tvq.WithQueries(base...)}, kind.opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var gotSink []string
+				collect := tvq.SinkFunc(func(d tvq.Delivery) error {
+					gotSink = append(gotSink, shiftedKey(d.FID, d.Match, 0))
+					return nil
+				})
+				got := make(map[int][]string)
+				record := func(s *tvq.Session, frames []tvq.Frame) {
+					t.Helper()
+					for _, f := range frames {
+						if f.FID == cut1 {
+							if _, err := s.Subscribe(subQ, tvq.WithSink(collect)); err != nil {
+								t.Fatal(err)
+							}
+						}
+						ms, err := s.ProcessFrame(f)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, m := range ms {
+							got[m.QueryID] = append(got[m.QueryID], shiftedKey(f.FID, m, 0))
+						}
+					}
+				}
+				record(s, tr.Frames()[:cut3])
+				var buf bytes.Buffer
+				if err := s.Snapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				s.Close()
+
+				resumed, err := tvq.Resume(nil, &buf, tvq.WithSubscriptionSinks(func(tvq.Query) tvq.Sink {
+					return collect
+				}))
+				if err != nil {
+					t.Fatalf("%s: Resume: %v", kind.name, err)
+				}
+				if n := len(resumed.Subscriptions()); cut1 < cut3 && n != 1 {
+					t.Fatalf("%s: %d restored subscriptions, want 1", kind.name, n)
+				}
+				record(resumed, tr.Frames()[cut3:])
+				resumed.Close()
+
+				if fmt.Sprint(got) != fmt.Sprint(streams) {
+					t.Errorf("%s: resumed session diverges from uninterrupted run\nrepro: go test -run 'TestDifferentialSessionSnapshotResume/seed=%d' .", kind.name, seed)
+				}
+				if fmt.Sprint(gotSink) != fmt.Sprint(sink) {
+					t.Errorf("%s: resumed sink stream diverges (%d vs %d)", kind.name, len(gotSink), len(sink))
+				}
+				matched += len(gotSink) + len(got[1])
+			}
+		})
+	}
+	if matched == 0 {
+		t.Fatal("no generated workload produced any match; harness is vacuous")
+	}
+}
+
+// TestDifferentialSessionStrategies runs the cross-strategy harness
+// through the v2 surface: Naive, MFS and SSG sessions — single-engine
+// and pooled — driven by the range-over-func Stream, with a query
+// subscribed mid-stream, must emit identical match streams.
+func TestDifferentialSessionStrategies(t *testing.T) {
+	methods := []tvq.Method{tvq.MethodNaive, tvq.MethodMFS, tvq.MethodSSG}
+	matched := 0
+	for i := 0; i < 12; i++ {
+		seed := int64(8000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomSessionTrace(t, rng)
+			nbase := 1 + rng.Intn(2)
+			base := make([]tvq.Query, nbase)
+			for qi := range base {
+				base[qi] = randomCondQuery(rng, qi+1, 2+rng.Intn(10))
+			}
+			subQ := randomCondQuery(rng, 50, 13+rng.Intn(6))
+			cut := int64(tr.Len() / 3)
+
+			for _, kind := range sessionKinds {
+				var ref []string
+				for mi, method := range methods {
+					s, err := tvq.Open(nil, append([]tvq.Option{
+						tvq.WithQueries(base...),
+						tvq.WithMethod(method),
+					}, kind.opts...)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got []string
+					subscribed := false
+					for f, ms := range s.Stream(context.Background(), tvq.TraceFrames(tr)) {
+						for _, m := range ms {
+							got = append(got, shiftedKey(f.FID, m, 0))
+						}
+						// Mid-stream registration: the loop body runs
+						// between frames, so Subscribe is safe here. All
+						// methods yield identical streams, so the trigger
+						// frame is identical too and the runs stay
+						// comparable.
+						if !subscribed && f.FID >= cut {
+							if _, err := s.Subscribe(subQ); err != nil {
+								t.Fatal(err)
+							}
+							subscribed = true
+						}
+					}
+					if err := s.Err(); err != nil {
+						t.Fatal(err)
+					}
+					s.Close()
+					if mi == 0 {
+						ref = got
+					} else if fmt.Sprint(got) != fmt.Sprint(ref) {
+						t.Errorf("%s/%s diverges from %s (%d vs %d matches)\nrepro: go test -run 'TestDifferentialSessionStrategies/seed=%d' .",
+							kind.name, method, methods[0], len(got), len(ref), seed)
+					}
+				}
+				matched += len(ref)
+			}
+		})
+	}
+	if matched == 0 {
+		t.Fatal("no generated workload produced any match; harness is vacuous")
+	}
+}

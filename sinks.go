@@ -1,0 +1,146 @@
+package tvq
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Delivery is one match handed to a subscription's sink: which feed and
+// frame produced it, and the match itself.
+type Delivery struct {
+	Feed  FeedID
+	FID   FrameID
+	Match Match
+}
+
+// Sink receives a subscription's matches, one Delivery per match, in
+// feed order. Deliver runs synchronously on the session's processing
+// path: returning an error fails the Process call that produced the
+// match, and blocking (as ChanSink does when its buffer is full)
+// backpressures the whole session — that is the mechanism by which a
+// slow consumer slows ingestion instead of dropping matches.
+type Sink interface {
+	Deliver(d Delivery) error
+}
+
+// SinkFunc adapts a callback to the Sink interface.
+type SinkFunc func(Delivery) error
+
+// Deliver calls f.
+func (f SinkFunc) Deliver(d Delivery) error { return f(d) }
+
+// sessionBound is implemented by sinks that need wiring into the
+// session's lifecycle: bind is called at Subscribe (or Resume) time,
+// closeSink when the subscription is cancelled or the session closes.
+type sessionBound interface {
+	bind(subDone, sessionDone <-chan struct{})
+	closeSink()
+}
+
+// ChanSink delivers matches on a channel. Deliver blocks while the
+// buffer is full — backpressure, not loss — until the subscription is
+// cancelled or the session closes, at which point pending deliveries
+// are dropped. The channel is closed when the subscription ends, so
+// consumers can simply range over C. Consume from a different goroutine
+// than the one driving the session, or make the buffer large enough for
+// a batch, or Process will block forever waiting for a reader.
+//
+// A ChanSink belongs to exactly one subscription: its channel closes
+// with that subscription, so unlike a SinkFunc or JSONLSink it cannot
+// be shared or reused. Deliveries after the channel closes are dropped.
+type ChanSink struct {
+	ch      chan Delivery
+	subDone <-chan struct{}
+	sesDone <-chan struct{}
+	mu      sync.Mutex
+	closed  bool
+}
+
+// NewChanSink builds a channel sink with the given buffer capacity.
+func NewChanSink(buffer int) *ChanSink {
+	if buffer < 0 {
+		buffer = 0
+	}
+	return &ChanSink{ch: make(chan Delivery, buffer)}
+}
+
+// C is the delivery channel; it is closed when the subscription is
+// cancelled or the session closes.
+func (c *ChanSink) C() <-chan Delivery { return c.ch }
+
+// Deliver sends d, blocking while the buffer is full.
+func (c *ChanSink) Deliver(d Delivery) error {
+	// The closed check and the send are not one atomic step, but they
+	// do not need to be: within a session, Deliver and closeSink are
+	// both serialized by the session's processing lock. The flag turns
+	// misuse (a sink reattached after its subscription ended) into
+	// dropped deliveries instead of a send-on-closed-channel panic.
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil
+	}
+	if c.subDone == nil {
+		// Unbound (used outside a session): plain blocking send.
+		c.ch <- d
+		return nil
+	}
+	select {
+	case c.ch <- d:
+	case <-c.subDone:
+	case <-c.sesDone:
+	}
+	return nil
+}
+
+func (c *ChanSink) bind(subDone, sessionDone <-chan struct{}) {
+	c.subDone, c.sesDone = subDone, sessionDone
+}
+
+func (c *ChanSink) closeSink() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+}
+
+// JSONLSink writes one JSON object per delivery to w, in the same
+// schema as the JSONL trace codec's spirit: feed, frame id, query id,
+// the matched object ids and the frames of joint presence. It is safe
+// for use from multiple subscriptions at once.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink builds a JSONL writer sink over w. The sink does not
+// close w; the caller owns it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// jsonlMatch is the serialized form of one delivery.
+type jsonlMatch struct {
+	Feed    int64     `json:"feed"`
+	FID     int64     `json:"fid"`
+	Query   int       `json:"query"`
+	Objects []uint32  `json:"objects"`
+	Frames  []FrameID `json:"frames"`
+}
+
+// Deliver encodes d as one JSON line.
+func (s *JSONLSink) Deliver(d Delivery) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(jsonlMatch{
+		Feed:    int64(d.Feed),
+		FID:     d.FID,
+		Query:   d.Match.QueryID,
+		Objects: d.Match.Objects.IDs(),
+		Frames:  d.Match.Frames,
+	})
+}

@@ -18,16 +18,35 @@
 // inverted-index evaluator, and optionally feeds evaluation results back
 // into state maintenance (the ≥-only pruning strategy).
 //
-// # Quick start
+// # Quick start (API v2)
 //
-//	queries := []tvq.Query{tvq.MustQuery(1, "car >= 1 AND person >= 2", 600, 450)}
-//	eng, err := tvq.NewEngine(queries, tvq.Options{})
+// A Session is the serving surface: open one with functional options,
+// then stream frames through it and range over the matches:
+//
+//	s, err := tvq.Open(ctx, tvq.WithQueries(
+//	    tvq.MustQuery(1, "car >= 1 AND person >= 2", 600, 450)))
 //	...
-//	for _, frame := range trace.Frames() {
-//	    for _, m := range eng.ProcessFrame(frame) {
-//	        fmt.Println(m.QueryID, m.Objects, m.Frames)
+//	defer s.Close()
+//	for frame, matches := range s.Stream(ctx, tvq.TraceFrames(trace)) {
+//	    for _, m := range matches {
+//	        fmt.Println(frame.FID, m.QueryID, m.Objects)
 //	    }
 //	}
+//
+// Queries can also join and leave while frames flow — on single-engine
+// and pooled sessions alike — with per-subscription delivery through a
+// pluggable Sink:
+//
+//	sub, err := s.Subscribe(tvq.MustQuery(0, "#501 AND person >= 2", 150, 100),
+//	    tvq.WithSink(tvq.SinkFunc(func(d tvq.Delivery) error {
+//	        fmt.Println("hit:", d.FID, d.Match.Objects)
+//	        return nil
+//	    })))
+//	...
+//	sub.Cancel()
+//
+// The v1 Engine/Pool constructors remain as thin deprecated shims; see
+// the README's migration table.
 //
 // Traces come from the CSV/JSONL codecs (ReadTraceCSV, ReadTraceJSONL),
 // or from the built-in synthetic video generator (GenerateDataset), which
@@ -60,6 +79,8 @@ type (
 	Trace = vr.Trace
 	// Frame is one frame's object set.
 	Frame = vr.Frame
+	// FrameID numbers the frames of one feed, consecutively from 0.
+	FrameID = vr.FrameID
 	// Registry maps class names to compact class values.
 	Registry = vr.Registry
 	// Stats are per-trace dataset statistics (Table 6 of the paper).
@@ -122,6 +143,9 @@ type Pool = engine.Pool
 // NewPool builds a parallel executor over the given queries. The zero
 // PoolOptions uses one worker per CPU in multi-camera (ShardByFeed)
 // mode with default engine options.
+//
+// Deprecated: use Open with WithWorkers/WithShardMode; the returned
+// Session subsumes Pool (including dynamic queries via Subscribe).
 func NewPool(queries []Query, opts PoolOptions) (*Pool, error) {
 	return engine.NewPool(queries, opts)
 }
@@ -129,6 +153,9 @@ func NewPool(queries []Query, opts PoolOptions) (*Pool, error) {
 // NewEngine builds an engine for the given queries. See Options for the
 // strategy, registry and pruning knobs; the zero Options selects the SSG
 // strategy with the standard person/car/truck/bus registry.
+//
+// Deprecated: use Open; the returned Session subsumes Engine and works
+// identically for pooled execution.
 func NewEngine(queries []Query, opts Options) (*Engine, error) {
 	return engine.New(queries, opts)
 }
@@ -149,16 +176,27 @@ func RestoreEngine(r io.Reader, opts Options) (*Engine, error) {
 // Pool.Snapshot, restoring every shard engine (per window group, or per
 // feed) so the pool resumes exactly where it stopped. See RestoreEngine
 // for how opts is interpreted.
+//
+// Deprecated: use Resume, which restores engine, pool and session
+// snapshots alike (including live subscriptions).
 func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
 	return engine.RestorePool(r, opts)
 }
 
-// SnapshotKind reports whether the snapshot in r holds an "engine" or a
-// "pool", so callers with a bare file can route to RestoreEngine or
-// RestorePool without guessing. It consumes r and verifies the file
-// framing (magic, version, checksum).
+// SnapshotKind reports whether the snapshot in r holds an "engine", a
+// "pool" or a "session", so callers with a bare file can tell what a
+// snapshot holds without restoring it (Resume accepts all three). It
+// consumes r and verifies the file framing (magic, version, checksum).
 func SnapshotKind(r io.Reader) (string, error) {
-	return engine.SnapshotKind(r)
+	kind, err := sniffKind(r)
+	if err != nil {
+		return "", err
+	}
+	switch kind {
+	case "engine", "pool", payloadSession:
+		return kind, nil
+	}
+	return "", fmt.Errorf("tvq: snapshot holds unknown state kind %q", kind)
 }
 
 // ParseQuery parses query text such as
