@@ -20,8 +20,9 @@
 // with -exp, -workers or -feeds is an error): each selected dataset is
 // measured once per method on the standard multi-query workload and the
 // results are written to DIR/BENCH_<dataset>.json as machine-readable
-// records (method, window, frames/sec, allocs), so the performance
-// trajectory can be tracked across commits.
+// records (method, window, frames/sec, allocations and bytes per
+// frame), so the performance trajectory can be tracked across commits;
+// EXPERIMENTS.md summarizes the committed records.
 package main
 
 import (

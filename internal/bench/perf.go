@@ -26,6 +26,8 @@ type PerfEntry struct {
 	FramesPerSec float64 `json:"frames_per_sec"`
 	Allocs       uint64  `json:"allocs"`
 	AllocsPerFr  float64 `json:"allocs_per_frame"`
+	Bytes        uint64  `json:"bytes"`
+	BytesPerFr   float64 `json:"bytes_per_frame"`
 }
 
 // MeasurePerf runs the standard multi-query workload on one dataset once
@@ -60,12 +62,15 @@ func (c Config) MeasurePerf(name string, queries int) ([]PerfEntry, error) {
 
 		frames := ds.Trace.Len()
 		allocs := after.Mallocs - before.Mallocs
+		bytes := after.TotalAlloc - before.TotalAlloc
 		entries = append(entries, PerfEntry{
 			Dataset: name, Method: m, Window: window, Duration: duration,
 			Queries: queries, Frames: frames, Seconds: secs,
 			FramesPerSec: float64(frames) / secs,
 			Allocs:       allocs,
 			AllocsPerFr:  float64(allocs) / float64(frames),
+			Bytes:        bytes,
+			BytesPerFr:   float64(bytes) / float64(frames),
 		})
 	}
 	return entries, nil

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"tvq/internal/objset"
 	"tvq/internal/vr"
 )
@@ -18,6 +16,7 @@ type Oracle struct {
 	cfg    Config
 	window []vr.Frame
 	next   vr.FrameID
+	em     emitter
 }
 
 // NewOracle returns a brute-force reference generator.
@@ -100,7 +99,7 @@ func (o *Oracle) Process(f vr.Frame) []*State {
 	// Distinct closures can still share a frame set only if one is not
 	// maximal — impossible here because the closure of that frame set is
 	// itself in the system and strictly larger; drop the smaller ones.
-	out = emit(out, o.cfg.Duration, true)
-	sort.Slice(out, func(i, j int) bool { return out[i].Objects.Key() < out[j].Objects.Key() })
-	return out
+	// The emitter also sorts by object set, matching the incremental
+	// generators' ordering exactly.
+	return o.em.emit(out, o.cfg.Duration, true)
 }

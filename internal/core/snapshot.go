@@ -81,13 +81,16 @@ func DecodeGenerator(r *snapshot.Reader, cfg Config) (Generator, error) {
 	}
 }
 
-// encodeSet writes an object set as count + ascending ids.
+// encodeSet writes an object set as count + ascending ids. The wire
+// format is representation-independent: sparse and dense sets with the
+// same members encode identically, so snapshots survive representation
+// changes in either direction.
 func encodeSet(w *snapshot.Writer, s objset.Set) {
-	ids := s.IDs()
-	w.Uvarint(uint64(len(ids)))
-	for _, id := range ids {
+	w.Uvarint(uint64(s.Len()))
+	s.Range(func(id objset.ID) bool {
 		w.Uvarint(uint64(id))
-	}
+		return true
+	})
 }
 
 // decodeSet reads an object set, verifying the strictly-increasing
@@ -113,7 +116,7 @@ func decodeSet(r *snapshot.Reader) objset.Set {
 	if r.Err() != nil {
 		return objset.Set{}
 	}
-	return objset.FromSorted(ids)
+	return objset.Compact(objset.FromSorted(ids))
 }
 
 // encodeState writes one state: object set, frame entries with marks,
@@ -208,19 +211,25 @@ func decodeWindow(r *snapshot.Reader, window map[vr.FrameID]objset.Set) {
 }
 
 // encode writes the flat table shared by Naive and MFS. cfg and useMarks
-// are reconstructed by the caller, not serialized.
+// are reconstructed by the caller, not serialized. States are written in
+// canonical object-set order so the encoding is deterministic regardless
+// of handle assignment history.
 func (t *table) encode(w *snapshot.Writer) {
 	w.Varint(t.next)
 	encodeMetrics(w, t.metrics)
 	encodeWindow(w, t.window)
-	keys := make([]string, 0, len(t.states))
-	for k := range t.states {
-		keys = append(keys, k)
+	states := make([]*State, 0, t.live)
+	for _, s := range t.states {
+		if s != nil {
+			states = append(states, s)
+		}
 	}
-	sort.Strings(keys)
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		encodeState(w, t.states[k])
+	sort.Slice(states, func(i, j int) bool {
+		return objset.Compare(states[i].Objects, states[j].Objects) < 0
+	})
+	w.Uvarint(uint64(len(states)))
+	for _, s := range states {
+		encodeState(w, s)
 	}
 }
 
@@ -234,12 +243,17 @@ func (t *table) decode(r *snapshot.Reader) error {
 		if r.Err() != nil {
 			return r.Err()
 		}
-		k := s.Objects.Key()
-		if _, dup := t.states[k]; dup {
+		if s.Objects.IsEmpty() {
+			r.Fail("state with empty object set")
+			return r.Err()
+		}
+		h, created := t.intern.Intern(s.Objects)
+		if !created {
 			r.Fail("duplicate state for object set %s", s.Objects)
 			return r.Err()
 		}
-		t.states[k] = s
+		s.Objects = t.intern.Of(h)
+		t.setState(h, s)
 	}
 	return r.Err()
 }
@@ -256,14 +270,18 @@ func (g *SSG) encode(w *snapshot.Writer) error {
 	encodeMetrics(w, g.metrics)
 	encodeWindow(w, g.window)
 
-	keys := make([]string, 0, len(g.nodes))
-	for k := range g.nodes {
-		keys = append(keys, k)
+	live := make([]*ssgNode, 0, g.live)
+	for _, n := range g.nodes {
+		if n != nil {
+			live = append(live, n)
+		}
 	}
-	sort.Strings(keys)
-	idx := make(map[*ssgNode]int, len(keys))
-	for i, k := range keys {
-		idx[g.nodes[k]] = i
+	sort.Slice(live, func(i, j int) bool {
+		return objset.Compare(live[i].state.Objects, live[j].state.Objects) < 0
+	})
+	idx := make(map[*ssgNode]int, len(live))
+	for i, n := range live {
+		idx[n] = i
 	}
 	writeEdges := func(nodes []*ssgNode) error {
 		w.Uvarint(uint64(len(nodes)))
@@ -277,9 +295,8 @@ func (g *SSG) encode(w *snapshot.Writer) error {
 		return nil
 	}
 
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		n := g.nodes[k]
+	w.Uvarint(uint64(len(live)))
+	for _, n := range live {
 		encodeState(w, n.state)
 		w.Varint(n.visited)
 		w.Varint(n.createdAt)
@@ -313,9 +330,15 @@ func (g *SSG) encode(w *snapshot.Writer) error {
 	if err := writeEdges(principals); err != nil {
 		return err
 	}
-	results := make([]*ssgNode, 0, len(g.prevResults))
-	for n := range g.prevResults {
-		results = append(results, n)
+	// The result set is kept as an ordered slice in memory; entries
+	// removed since they were collected are filtered like the lazy
+	// compaction would. Canonical node order keeps the bytes
+	// deterministic.
+	results := make([]*ssgNode, 0, len(g.results))
+	for _, n := range g.results {
+		if !n.dead {
+			results = append(results, n)
+		}
 	}
 	sort.Slice(results, func(i, j int) bool { return idx[results[i]] < idx[results[j]] })
 	return writeEdges(results)
@@ -366,13 +389,19 @@ func (g *SSG) decode(r *snapshot.Reader) error {
 		if r.Err() != nil {
 			return r.Err()
 		}
-		k := n.state.Objects.Key()
-		if _, dup := g.nodes[k]; dup {
+		if n.state.Objects.IsEmpty() {
+			r.Fail("ssg node with empty object set")
+			return r.Err()
+		}
+		h, created := g.intern.Intern(n.state.Objects)
+		if !created {
 			r.Fail("duplicate ssg node for object set %s", n.state.Objects)
 			return r.Err()
 		}
+		n.state.Objects = g.intern.Of(h)
+		n.handle = h
 		nodes[i] = n
-		g.nodes[k] = n
+		g.setNode(h, n)
 	}
 
 	// Link edges and verify that the recorded children and parents lists
@@ -413,7 +442,7 @@ func (g *SSG) decode(r *snapshot.Reader) error {
 		g.principals = append(g.principals, nodes[i])
 	}
 	for _, i := range readEdges() {
-		g.prevResults[nodes[i]] = true
+		g.results = append(g.results, nodes[i])
 	}
 	return r.Err()
 }

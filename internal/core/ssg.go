@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"tvq/internal/objset"
 	"tvq/internal/vr"
@@ -18,9 +18,17 @@ import (
 // the paper attributes to the graph. CNPS (Connecting the New Principal
 // State, §4.3.5) then links the frame's own state to the top-level
 // intersection states without violating Property 2.
+//
+// Node lookup is by interned object-set handle (one hash of the id
+// stream plus an integer compare, no key strings), traversal
+// intersections go into a reusable scratch buffer, and dead states
+// return their storage to a pool, so steady-state maintenance performs
+// no allocations beyond genuine graph growth.
 type SSG struct {
-	cfg   Config
-	nodes map[string]*ssgNode
+	cfg    Config
+	intern *objset.Interner
+	nodes  []*ssgNode // indexed by objset.Handle; nil when no such node
+	live   int
 
 	// rootOrder lists traversal entry points (parentless nodes) in the
 	// order they became roots; dead or re-parented entries are skipped
@@ -34,21 +42,33 @@ type SSG struct {
 	// Marking Procedure rule 4.
 	principals []*ssgNode
 
-	prevResults map[*ssgNode]bool
-	next        vr.FrameID
-	metrics     Metrics
+	// results is the previous frame's result node set (§4.3.7);
+	// resultsNext is the double buffer the next set is built into.
+	results     []*ssgNode
+	resultsNext []*ssgNode
+
+	next    vr.FrameID
+	metrics Metrics
 
 	// window buffers the object set of each live frame for the marking
 	// rule (State.fold) when parents' frames merge into new states.
 	window map[vr.FrameID]objset.Set
 
 	// scratch, reused across frames
-	touched []*ssgNode
-	stack   []*ssgNode // child snapshots for the recursive traversal
+	touched    []*ssgNode
+	stack      []*ssgNode // child snapshots for the recursive traversal
+	roots      []*ssgNode
+	cands      []*ssgNode // CNPS candidates
+	selected   []*ssgNode // CNPS selection
+	buf        objset.Scratch
+	em         emitter
+	pool       statePool
+	emitStates []*State
 }
 
 type ssgNode struct {
 	state    *State
+	handle   objset.Handle
 	children []*ssgNode
 	parents  []*ssgNode
 
@@ -67,6 +87,11 @@ type ssgNode struct {
 	// (Definition 5). Sorted ascending.
 	createdBy []vr.FrameID
 
+	// resultMark is 1 + the id of the last frame that added this node to
+	// the result set; collectResults uses it to deduplicate without a
+	// per-frame set.
+	resultMark vr.FrameID
+
 	onRootList bool
 	dead       bool
 }
@@ -78,10 +103,9 @@ func NewSSG(cfg Config) *SSG {
 		panic(err)
 	}
 	return &SSG{
-		cfg:         cfg,
-		nodes:       make(map[string]*ssgNode),
-		prevResults: make(map[*ssgNode]bool),
-		window:      make(map[vr.FrameID]objset.Set),
+		cfg:    cfg,
+		intern: objset.NewInterner(),
+		window: make(map[vr.FrameID]objset.Set),
 	}
 }
 
@@ -89,10 +113,40 @@ func NewSSG(cfg Config) *SSG {
 func (g *SSG) Name() string { return "SSG" }
 
 // StateCount implements Generator.
-func (g *SSG) StateCount() int { return len(g.nodes) }
+func (g *SSG) StateCount() int { return g.live }
 
 // Metrics returns work counters accumulated so far.
 func (g *SSG) Metrics() Metrics { return g.metrics }
+
+// node returns the live node with interned handle h, or nil.
+func (g *SSG) node(h objset.Handle) *ssgNode {
+	if int(h) < len(g.nodes) {
+		return g.nodes[h]
+	}
+	return nil
+}
+
+// setNode records n as the live node for handle h.
+func (g *SSG) setNode(h objset.Handle, n *ssgNode) {
+	for int(h) >= len(g.nodes) {
+		g.nodes = append(g.nodes, nil)
+	}
+	g.nodes[h] = n
+	g.live++
+}
+
+// newNode interns objects (cloning a scratch-backed value into owned
+// storage) and creates its node with pooled state storage.
+func (g *SSG) newNode(objects objset.Set, createdAt vr.FrameID) *ssgNode {
+	h, _ := g.intern.Intern(objects)
+	s := g.pool.get()
+	s.Objects = g.intern.Of(h)
+	n := &ssgNode{state: s, handle: h, createdAt: createdAt}
+	g.setNode(h, n)
+	g.metrics.StatesCreated++
+	g.touched = append(g.touched, n)
+	return n
+}
 
 // Process implements Generator: one round of the ST algorithm followed by
 // CNPS and result-set maintenance (§4.3.7).
@@ -109,6 +163,7 @@ func (g *SSG) Process(f vr.Frame) []*State {
 			delete(g.window, fid)
 		}
 	}
+	f.Objects = objset.Compact(f.Objects)
 	g.window[f.FID] = f.Objects
 
 	// Periodic full sweep: traversal expires nodes lazily, so nodes in
@@ -132,7 +187,7 @@ func (g *SSG) traverse(f vr.Frame, minFID vr.FrameID) {
 	// Candidates for CNPS: the state generated at the top level of each
 	// root's subtree (Theorem 2: only states IDroot ∩ IDns can be
 	// adjacent to the new principal state).
-	var candidates []*ssgNode
+	candidates := g.cands[:0]
 
 	roots := g.liveRoots()
 	for _, r := range roots {
@@ -145,6 +200,7 @@ func (g *SSG) traverse(f vr.Frame, minFID vr.FrameID) {
 	}
 
 	ns := g.ensurePrincipal(f, minFID)
+	g.cands = candidates[:0]
 	g.connectPrincipal(ns, candidates)
 	g.refreshPrincipals(f, minFID)
 }
@@ -159,11 +215,14 @@ func (g *SSG) visit(n *ssgNode, f vr.Frame, minFID vr.FrameID) *ssgNode {
 	if n.visited == f.FID {
 		// Already handled via another path this frame; the candidate for
 		// CNPS is still the intersection state, which must exist by now.
-		inter := n.state.Objects.Intersect(f.Objects)
+		inter := n.state.Objects.IntersectInto(f.Objects, &g.buf)
 		if inter.IsEmpty() {
 			return nil
 		}
-		return g.nodes[inter.Key()]
+		if h, ok := g.intern.Lookup(inter); ok {
+			return g.node(h)
+		}
+		return nil
 	}
 	n.visited = f.FID
 	g.metrics.StatesVisited++
@@ -189,7 +248,7 @@ func (g *SSG) visit(n *ssgNode, f vr.Frame, minFID vr.FrameID) *ssgNode {
 	}
 
 	g.metrics.Intersections++
-	inter := n.state.Objects.Intersect(f.Objects)
+	inter := n.state.Objects.IntersectInto(f.Objects, &g.buf)
 	if inter.IsEmpty() {
 		// Every descendant has an object set ⊂ IDn, so every descendant
 		// intersection is empty too: skip the whole subtree. This is the
@@ -212,6 +271,8 @@ func (g *SSG) visit(n *ssgNode, f vr.Frame, minFID vr.FrameID) *ssgNode {
 // applyIntersection materializes the state for inter = IDn ∩ IDns and
 // performs frame bookkeeping (Graph Maintenance Procedure steps 3-4);
 // key-frame marks are decided by the rest-closure rule in State.fold.
+// inter may be scratch-backed; it is interned (copied) before being
+// retained.
 func (g *SSG) applyIntersection(n *ssgNode, inter objset.Set, f vr.Frame) *ssgNode {
 	if inter.Equal(n.state.Objects) {
 		// Step 3: the node itself co-occurs in the arriving frame.
@@ -219,21 +280,9 @@ func (g *SSG) applyIntersection(n *ssgNode, inter objset.Set, f vr.Frame) *ssgNo
 		return n
 	}
 
-	key := inter.Key()
-	target, ok := g.nodes[key]
-	if !ok {
-		if g.cfg.Terminate != nil && g.cfg.Terminate(inter) {
-			g.metrics.StatesTerminated++
-			return nil
-		}
-		target = &ssgNode{state: &State{Objects: inter}, createdAt: f.FID}
-		g.nodes[key] = target
-		g.metrics.StatesCreated++
-		g.touched = append(g.touched, target)
-		g.foldMissing(target, n)
-		target.state.fold(f.FID, f.Objects)
-		g.attachChild(n, target)
-	} else {
+	var target *ssgNode
+	if h, ok := g.intern.Lookup(inter); ok {
+		target = g.nodes[h]
 		// Step 4.a: the state exists. A target created earlier in this
 		// same traversal has only seen its first parent, so it absorbs
 		// this parent's frames too; an older target is already exact
@@ -243,7 +292,16 @@ func (g *SSG) applyIntersection(n *ssgNode, inter objset.Set, f vr.Frame) *ssgNo
 		}
 		target.state.fold(f.FID, f.Objects)
 		g.touched = append(g.touched, target)
+		return target
 	}
+	if g.cfg.Terminate != nil && g.cfg.Terminate(inter) {
+		g.metrics.StatesTerminated++
+		return nil
+	}
+	target = g.newNode(inter, f.FID)
+	g.foldMissing(target, n)
+	target.state.fold(f.FID, f.Objects)
+	g.attachChild(n, target)
 	return target
 }
 
@@ -314,17 +372,16 @@ func detachParent(child, parent *ssgNode) {
 // ensurePrincipal creates or refreshes the node for the arriving frame's
 // own object set: the new principal state (Definition 5).
 func (g *SSG) ensurePrincipal(f vr.Frame, minFID vr.FrameID) *ssgNode {
-	key := f.Objects.Key()
-	ns, ok := g.nodes[key]
-	if !ok {
+	var ns *ssgNode
+	if h, ok := g.intern.Lookup(f.Objects); ok {
+		ns = g.nodes[h]
+	} else {
 		if g.cfg.Terminate != nil && g.cfg.Terminate(f.Objects) {
 			g.metrics.StatesTerminated++
 			return nil
 		}
-		ns = &ssgNode{state: &State{Objects: f.Objects}}
-		g.nodes[key] = ns
-		g.metrics.StatesCreated++
-		g.touched = append(g.touched, ns)
+		ns = g.newNode(f.Objects, 0)
+		ns.createdAt = 0
 	}
 	// The creating frame is always a key frame of its principal state:
 	// its object set equals the state's, so fold marks it.
@@ -344,12 +401,23 @@ func (g *SSG) connectPrincipal(ns *ssgNode, candidates []*ssgNode) {
 	if ns == nil || len(candidates) == 0 {
 		return
 	}
-	sort.SliceStable(candidates, func(i, j int) bool {
-		return candidates[i].state.Objects.Len() > candidates[j].state.Objects.Len()
-	})
-	var selected []*ssgNode
+	// A candidate may have been pruned (and its state recycled) by a
+	// later root's traversal after it was collected; drop those before
+	// the sort touches their state.
+	live := candidates[:0]
 	for _, c := range candidates {
-		if c == nil || c.dead || c == ns {
+		if c != nil && !c.dead && c != ns {
+			live = append(live, c)
+		}
+	}
+	candidates = live
+	slices.SortStableFunc(candidates, func(a, b *ssgNode) int {
+		return b.state.Objects.Len() - a.state.Objects.Len()
+	})
+	selected := g.selected[:0]
+	defer func() { g.selected = selected[:0] }()
+	for _, c := range candidates {
+		if c.dead {
 			continue
 		}
 		if !c.state.Objects.ProperSubsetOf(ns.state.Objects) {
@@ -392,17 +460,18 @@ func (g *SSG) pruneNode(n *ssgNode, minFID vr.FrameID) bool {
 	return false
 }
 
-// removeNode detaches n from the graph. Children that lose their last
-// parent are promoted to traversal roots so their subtrees stay
-// reachable.
+// removeNode detaches n from the graph, releasing its interned handle
+// and recycling its state storage. Children that lose their last parent
+// are promoted to traversal roots so their subtrees stay reachable.
 func (g *SSG) removeNode(n *ssgNode) {
 	if n.dead {
 		return
 	}
 	n.dead = true
 	g.metrics.StatesPruned++
-	delete(g.nodes, n.state.Objects.Key())
-	delete(g.prevResults, n)
+	g.nodes[n.handle] = nil
+	g.live--
+	g.intern.Release(n.handle)
 	for _, p := range n.parents {
 		for i, c := range p.children {
 			if c == n {
@@ -420,6 +489,11 @@ func (g *SSG) removeNode(n *ssgNode) {
 			g.ensureRoot(c)
 		}
 	}
+	// The node struct itself may still sit on rootOrder/principals/
+	// results until their lazy compaction (all guarded by dead), but the
+	// state is unreachable from any live path and can be recycled.
+	g.pool.put(n.state)
+	n.state = nil
 }
 
 func (g *SSG) ensureRoot(n *ssgNode) {
@@ -442,21 +516,24 @@ func (g *SSG) liveRoots() []*ssgNode {
 		out = append(out, n)
 	}
 	g.rootOrder = out
-	// Return a copy: traversal may promote orphans onto rootOrder
-	// mid-iteration, and those were either already visited (as children)
-	// or will be covered next frame.
-	roots := make([]*ssgNode, len(out))
-	copy(roots, out)
+	// Return a copy (reusing the scratch buffer): traversal may promote
+	// orphans onto rootOrder mid-iteration, and those were either
+	// already visited (as children) or will be covered next frame.
+	roots := append(g.roots[:0], out...)
+	g.roots = roots[:0]
 	return roots
 }
 
 func (g *SSG) refreshPrincipals(f vr.Frame, minFID vr.FrameID) {
 	out := g.principals[:0]
 	for _, n := range g.principals {
+		if n.dead {
+			continue
+		}
 		for len(n.createdBy) > 0 && n.createdBy[0] < minFID {
 			n.createdBy = n.createdBy[1:]
 		}
-		if !n.dead && len(n.createdBy) > 0 {
+		if len(n.createdBy) > 0 {
 			out = append(out, n)
 		}
 	}
@@ -465,45 +542,50 @@ func (g *SSG) refreshPrincipals(f vr.Frame, minFID vr.FrameID) {
 
 // collectResults implements the result-set maintenance of §4.3.7:
 // SR_{i'} = SR'_i ∪ SR_{G'} — the still-satisfied previous results plus
-// the satisfied states touched by this frame's traversal.
+// the satisfied states touched by this frame's traversal. All buffers
+// are generator-owned and reused across frames.
 func (g *SSG) collectResults(f vr.Frame, minFID vr.FrameID) []*State {
-	next := make(map[*ssgNode]bool, len(g.prevResults))
-	consider := func(n *ssgNode) {
-		if n == nil || n.dead {
-			return
-		}
-		n.state.frames.expireBefore(minFID)
-		if n.state.frames.len() == 0 || !n.state.frames.hasMarks() {
-			g.removeNode(n)
-			return
-		}
-		if n.state.frames.len() >= g.cfg.Duration {
-			next[n] = true
-		}
-	}
-	for n := range g.prevResults {
-		consider(n)
+	mark := f.FID + 1
+	g.resultsNext = g.resultsNext[:0]
+	for _, n := range g.results {
+		g.considerResult(n, mark, minFID)
 	}
 	for _, n := range g.touched {
-		consider(n)
+		g.considerResult(n, mark, minFID)
 	}
-	g.prevResults = next
+	g.results, g.resultsNext = g.resultsNext, g.results
 
-	states := make([]*State, 0, len(next))
-	for n := range next {
+	states := g.emitStates[:0]
+	for _, n := range g.results {
 		states = append(states, n.state)
 	}
-	return emit(states, g.cfg.Duration, true)
+	g.emitStates = states
+	return g.em.emit(states, g.cfg.Duration, true)
+}
+
+// considerResult re-validates one candidate node and appends it to
+// resultsNext when it belongs in this frame's result set; resultMark
+// deduplicates nodes reachable both from the previous results and from
+// this frame's traversal.
+func (g *SSG) considerResult(n *ssgNode, mark vr.FrameID, minFID vr.FrameID) {
+	if n == nil || n.dead || n.resultMark == mark {
+		return
+	}
+	n.state.frames.expireBefore(minFID)
+	if n.state.frames.len() == 0 || !n.state.frames.hasMarks() {
+		g.removeNode(n)
+		return
+	}
+	if n.state.frames.len() >= g.cfg.Duration {
+		n.resultMark = mark
+		g.resultsNext = append(g.resultsNext, n)
+	}
 }
 
 // sweep removes dead weight graph-wide; see Process.
 func (g *SSG) sweep(minFID vr.FrameID) {
-	all := make([]*ssgNode, 0, len(g.nodes))
 	for _, n := range g.nodes {
-		all = append(all, n)
-	}
-	for _, n := range all {
-		if n.dead {
+		if n == nil || n.dead {
 			continue
 		}
 		g.pruneNode(n, minFID)

@@ -10,14 +10,29 @@ import (
 
 // checkGraphInvariants walks the whole graph and asserts the structural
 // properties the SSG is defined by.
+// lookupNode resolves a node by object set through the intern table, the
+// way the generator itself does.
+func lookupNode(g *SSG, s objset.Set) *ssgNode {
+	if h, ok := g.intern.Lookup(s); ok {
+		return g.node(h)
+	}
+	return nil
+}
+
 func checkGraphInvariants(t *testing.T, g *SSG) {
 	t.Helper()
-	for key, n := range g.nodes {
+	for h, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		if n.dead {
 			t.Fatalf("dead node %v still in node table", n.state.Objects)
 		}
-		if n.state.Objects.Key() != key {
-			t.Fatalf("node keyed %q holds objects %v", key, n.state.Objects)
+		if n.handle != objset.Handle(h) {
+			t.Fatalf("node at handle %d carries handle %d", h, n.handle)
+		}
+		if !g.intern.Of(n.handle).Equal(n.state.Objects) {
+			t.Fatalf("node %v interned as %v", n.state.Objects, g.intern.Of(n.handle))
 		}
 		// Property 1: every edge goes to a strict subset.
 		for _, c := range n.children {
@@ -50,6 +65,9 @@ func checkGraphInvariants(t *testing.T, g *SSG) {
 	// Reachability: every live node must be reachable from a parentless
 	// node via parent chains (the traversal entry points).
 	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
 		cur := n
 		for steps := 0; len(cur.parents) > 0; steps++ {
 			if steps > len(g.nodes) {
@@ -102,16 +120,16 @@ func TestSSGFigure3Scenario(t *testing.T) {
 	}
 	checkGraphInvariants(t, g)
 
-	ab := g.nodes[objset.New(1, 2).Key()]
+	ab := lookupNode(g, objset.New(1, 2))
 	if ab == nil {
 		t.Fatal("{AB} not materialized")
 	}
-	abf := g.nodes[objset.New(1, 2, 5).Key()]
+	abf := lookupNode(g, objset.New(1, 2, 5))
 	if abf == nil {
 		t.Fatal("{ABF} not materialized")
 	}
 	// Figure 3d: {AB}'s parents are {ABF} and {ABD} — not {ABCF}.
-	abcf := g.nodes[objset.New(1, 2, 3, 5).Key()]
+	abcf := lookupNode(g, objset.New(1, 2, 3, 5))
 	for _, p := range ab.parents {
 		if p == abcf {
 			t.Errorf("{AB} still a direct child of {ABCF}; edge should have moved to {ABF}")
@@ -234,7 +252,7 @@ func TestSSGPrincipalStateLifecycle(t *testing.T) {
 	b := objset.New(2, 3)
 	g.Process(vr.Frame{FID: 0, Objects: a})
 	g.Process(vr.Frame{FID: 1, Objects: b})
-	na := g.nodes[a.Key()]
+	na := lookupNode(g, a)
 	if na == nil || len(na.createdBy) != 1 {
 		t.Fatalf("principal bookkeeping for %v: %+v", a, na)
 	}
@@ -242,7 +260,7 @@ func TestSSGPrincipalStateLifecycle(t *testing.T) {
 	// node may survive (if still valid) but must no longer be principal.
 	g.Process(vr.Frame{FID: 2, Objects: b})
 	g.Process(vr.Frame{FID: 3, Objects: b})
-	if na := g.nodes[a.Key()]; na != nil && len(na.createdBy) != 0 {
+	if na := lookupNode(g, a); na != nil && len(na.createdBy) != 0 {
 		t.Errorf("%v still principal after creator frame expired: createdBy=%v", a, na.createdBy)
 	}
 }

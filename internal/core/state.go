@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -107,7 +108,10 @@ func (fl *frameList) contains(fid vr.FrameID) bool {
 	return i < len(fl.entries) && fl.entries[i].fid == fid
 }
 
-// expireBefore removes all entries with fid < min.
+// expireBefore removes all entries with fid < min. Survivors are copied
+// down in place so the slice keeps its full backing capacity: re-slicing
+// the head away instead would leak capacity one window slide at a time
+// and force a steady trickle of reallocations on append.
 func (fl *frameList) expireBefore(min vr.FrameID) {
 	i := 0
 	for i < len(fl.entries) && fl.entries[i].fid < min {
@@ -117,7 +121,8 @@ func (fl *frameList) expireBefore(min vr.FrameID) {
 		i++
 	}
 	if i > 0 {
-		fl.entries = fl.entries[i:]
+		n := copy(fl.entries, fl.entries[i:])
+		fl.entries = fl.entries[:n]
 	}
 }
 
@@ -130,18 +135,37 @@ func (fl *frameList) fids() []vr.FrameID {
 	return out
 }
 
-// key returns a byte-string key identifying the exact frame set, used by
-// the emission-time maximality filter to group states with identical
-// frame sets.
-func (fl *frameList) key() string {
-	buf := make([]byte, 0, len(fl.entries)*8)
+// hash returns a 64-bit FNV-1a hash of the exact frame set, used by the
+// emission-time maximality filter to group states with identical frame
+// sets without building key strings. Marks are excluded: grouping is by
+// frame set alone.
+func (fl *frameList) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, e := range fl.entries {
 		f := e.fid
-		buf = append(buf,
-			byte(f), byte(f>>8), byte(f>>16), byte(f>>24),
-			byte(f>>32), byte(f>>40), byte(f>>48), byte(f>>56))
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ uint64(byte(f>>shift))) * prime64
+		}
 	}
-	return string(buf)
+	return h
+}
+
+// sameFrames reports whether two frame lists hold identical frame ids
+// (the hash fallback of the emission filter's grouping map).
+func (fl *frameList) sameFrames(other *frameList) bool {
+	if len(fl.entries) != len(other.entries) {
+		return false
+	}
+	for i, e := range fl.entries {
+		if other.entries[i].fid != e.fid {
+			return false
+		}
+	}
+	return true
 }
 
 func (fl *frameList) String() string {
@@ -212,7 +236,7 @@ func (s *State) fold(fid vr.FrameID, of objset.Set) {
 		// comparing lengths suffices.
 		kills = of.Len() == s.Objects.Len()
 	} else {
-		kills = s.extra.IntersectLen(of) == 0
+		kills = !s.extra.Intersects(of)
 	}
 	if kills {
 		s.frames.insert(fid, true)
@@ -225,7 +249,10 @@ func (s *State) fold(fid vr.FrameID, of objset.Set) {
 		s.extra = of.Minus(s.Objects)
 		s.hasExtra = true
 	} else {
-		s.extra = s.extra.Intersect(of)
+		// extra is uniquely owned by this state (built by Minus above and
+		// only ever shrunk here), so the in-place, allocation-free
+		// intersection is safe.
+		s.extra.IntersectWith(of)
 	}
 }
 
@@ -267,11 +294,12 @@ func (s *State) String() string {
 func (s *State) Aggregate(nclasses int, classOf func(objset.ID) vr.Class) []int {
 	if s.agg == nil {
 		agg := make([]int, nclasses)
-		for _, id := range s.Objects.IDs() {
+		s.Objects.Range(func(id objset.ID) bool {
 			if c := int(classOf(id)); c < nclasses {
 				agg[c]++
 			}
-		}
+			return true
+		})
 		s.agg = agg
 	}
 	return s.agg
@@ -282,8 +310,10 @@ func (s *State) Aggregate(nclasses int, classOf func(objset.ID) vr.Class) []int 
 // starting at 0) and returns the window's result state set: every valid
 // state whose object set is an MCOS appearing in at least d frames of the
 // window ending at this frame. The returned states are owned by the
-// generator and must not be mutated; the slice is sorted by object set for
-// deterministic comparison.
+// generator and must not be mutated; both the slice and the states it
+// points to are only valid until the next call to Process (generators
+// reuse emission buffers and recycle dead states). The slice is sorted by
+// object set (objset.Compare order) for deterministic comparison.
 type Generator interface {
 	Name() string
 	Process(f vr.Frame) []*State
@@ -303,13 +333,40 @@ type Metrics struct {
 	StatesVisited    int64 // states touched across all frames
 }
 
-// emit applies the duration check and the exact maximality filter shared
-// by all generators: among satisfied states, group by identical frame set
-// and keep only the maximum object set of each group (per Definition 2 a
-// co-occurrence object set of a fixed frame set has a unique maximum).
-// Results are sorted by object set key for determinism.
-func emit(states []*State, duration int, checkMarks bool) []*State {
-	best := make(map[string]*State, len(states))
+// emitter applies the duration check and the exact maximality filter
+// shared by all generators: among satisfied states, group by identical
+// frame set and keep only the maximum object set of each group (per
+// Definition 2 a co-occurrence object set of a fixed frame set has a
+// unique maximum). Results are sorted by object set (objset.Compare) for
+// determinism.
+//
+// Each generator owns one emitter and reuses its buffers across frames:
+// grouping keys on a 64-bit frame-set hash (with an exact frame-list
+// comparison on hash hits, chained through next on the vanishingly rare
+// collisions), so the steady-state filter performs no allocations — the
+// seed implementation built a byte-string key per state per frame and a
+// fresh map and result slice per call.
+type emitter struct {
+	byHash map[uint64]int32
+	groups []emitGroup
+	out    []*State
+}
+
+// emitGroup is the current best state for one distinct frame set; next
+// chains groups whose frame sets share a hash (-1 terminates).
+type emitGroup struct {
+	best *State
+	next int32
+}
+
+// emit filters states and returns the result set. The returned slice and
+// its ordering are only valid until the next emit call on this emitter.
+func (e *emitter) emit(states []*State, duration int, checkMarks bool) []*State {
+	if e.byHash == nil {
+		e.byHash = make(map[uint64]int32)
+	}
+	clear(e.byHash)
+	e.groups = e.groups[:0]
 	for _, s := range states {
 		if s.terminated || s.FrameCount() < duration || s.FrameCount() == 0 {
 			continue
@@ -317,15 +374,71 @@ func emit(states []*State, duration int, checkMarks bool) []*State {
 		if checkMarks && !s.Valid() {
 			continue
 		}
-		k := s.frames.key()
-		if cur, ok := best[k]; !ok || s.Objects.Len() > cur.Objects.Len() {
-			best[k] = s
+		h := s.frames.hash()
+		idx, ok := e.byHash[h]
+		if !ok {
+			e.groups = append(e.groups, emitGroup{best: s, next: -1})
+			e.byHash[h] = int32(len(e.groups) - 1)
+			continue
+		}
+		for {
+			if g := &e.groups[idx]; g.best.frames.sameFrames(&s.frames) {
+				if s.Objects.Len() > g.best.Objects.Len() {
+					g.best = s
+				}
+				break
+			}
+			if next := e.groups[idx].next; next >= 0 {
+				idx = next
+				continue
+			}
+			// Hash collision between distinct frame sets: start a new
+			// group on the chain.
+			e.groups = append(e.groups, emitGroup{best: s, next: -1})
+			e.groups[idx].next = int32(len(e.groups) - 1)
+			break
 		}
 	}
-	out := make([]*State, 0, len(best))
-	for _, s := range best {
-		out = append(out, s)
+	out := e.out[:0]
+	for i := range e.groups {
+		out = append(out, e.groups[i].best)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Objects.Key() < out[j].Objects.Key() })
+	// slices.SortFunc rather than sort.Slice: the latter boxes its
+	// arguments and costs two allocations per emission.
+	slices.SortFunc(out, func(a, b *State) int {
+		return objset.Compare(a.Objects, b.Objects)
+	})
+	e.out = out
 	return out
+}
+
+// statePool recycles State storage across window slides: a state whose
+// frame set expired hands its struct and slice capacity to the next
+// state created, so steady-state churn stops hitting the allocator.
+// Pooled states must already be unreachable from the graph/table; the
+// Process contract (results valid only until the next call) makes the
+// recycling invisible to callers. Object sets are deliberately NOT
+// recycled — query.Match values share their backing storage.
+type statePool struct {
+	free []*State
+}
+
+func (p *statePool) get() *State {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &State{}
+}
+
+func (p *statePool) put(s *State) {
+	s.Objects = objset.Set{}
+	s.frames.entries = s.frames.entries[:0]
+	s.frames.marks = 0
+	s.extra = objset.Set{}
+	s.hasExtra = false
+	s.terminated = false
+	s.agg = nil
+	p.free = append(p.free, s)
 }

@@ -56,19 +56,34 @@ func TestFrameListExpire(t *testing.T) {
 	fl.expireBefore(20)
 }
 
-func TestFrameListKeyDistinguishesSets(t *testing.T) {
+func TestFrameListHashDistinguishesSets(t *testing.T) {
 	var a, b frameList
 	a.insert(1, false)
 	a.insert(2, false)
 	b.insert(1, false)
-	if a.key() == b.key() {
-		t.Error("different frame sets share a key")
+	if a.hash() == b.hash() {
+		t.Error("different frame sets share a hash")
+	}
+	if a.sameFrames(&b) || b.sameFrames(&a) {
+		t.Error("different frame sets compare equal")
 	}
 	var c frameList
-	c.insert(1, true) // marks must not affect the key
+	c.insert(1, true) // marks must not affect grouping
 	c.insert(2, true)
-	if a.key() != c.key() {
-		t.Error("marks changed the frame-set key")
+	if a.hash() != c.hash() {
+		t.Error("marks changed the frame-set hash")
+	}
+	if !a.sameFrames(&c) {
+		t.Error("marks changed frame-set equality")
+	}
+	// {1,23} vs {12,3}-style prefix confusion must not collide.
+	var d, e frameList
+	d.insert(1, false)
+	d.insert(23, false)
+	e.insert(12, false)
+	e.insert(3, false)
+	if d.hash() == e.hash() {
+		t.Error("hash collision between {1 23} and {3 12}")
 	}
 }
 
@@ -164,7 +179,7 @@ func TestEmitMaximalityFilter(t *testing.T) {
 		big.frames.insert(fid, true)
 		small.frames.insert(fid, true)
 	}
-	out := emit([]*State{small, big}, 2, true)
+	out := (&emitter{}).emit([]*State{small, big}, 2, true)
 	if len(out) != 1 || !out[0].Objects.Equal(big.Objects) {
 		t.Fatalf("emit = %v", out)
 	}
@@ -188,12 +203,13 @@ func TestEmitDurationAndValidity(t *testing.T) {
 	terminated.frames.insert(0, true)
 	terminated.frames.insert(1, true)
 
-	out := emit([]*State{ok, short, unmarked, terminated}, 2, true)
+	em := &emitter{}
+	out := em.emit([]*State{ok, short, unmarked, terminated}, 2, true)
 	if len(out) != 1 || !out[0].Objects.Equal(objset.New(1)) {
 		t.Fatalf("emit = %v", out)
 	}
 	// Without the marks requirement the unmarked state qualifies too.
-	out = emit([]*State{ok, short, unmarked, terminated}, 2, false)
+	out = em.emit([]*State{ok, short, unmarked, terminated}, 2, false)
 	if len(out) != 2 {
 		t.Fatalf("emit without marks = %v", out)
 	}
@@ -206,9 +222,9 @@ func TestEmitDeterministicOrder(t *testing.T) {
 		s.frames.insert(0, true)
 		states = append(states, s)
 	}
-	out := emit(states, 0, true)
+	out := (&emitter{}).emit(states, 0, true)
 	for i := 1; i < len(out); i++ {
-		if out[i-1].Objects.Key() >= out[i].Objects.Key() {
+		if objset.Compare(out[i-1].Objects, out[i].Objects) >= 0 {
 			t.Fatal("emit output not sorted")
 		}
 	}

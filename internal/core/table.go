@@ -5,20 +5,40 @@ import (
 	"tvq/internal/vr"
 )
 
-// table is the flat state store shared by the Naive and MFS generators: a
-// hash table mapping object sets to states. Every arriving frame is
-// intersected with every live state (the "first attempt" maintenance of
-// §4.2.2); the two generators differ only in whether key frames are
+// table is the flat state store shared by the Naive and MFS generators:
+// states keyed by their interned object-set handle. Every arriving frame
+// is intersected with every live state (the "first attempt" maintenance
+// of §4.2.2); the two generators differ only in whether key frames are
 // marked and invalid states pruned early (§4.2.3–4.2.4).
+//
+// The hot path is allocation-free in steady state: intersections are
+// computed into a reusable Scratch, distinct intersection values are
+// identified by interning (one integer handle compare instead of a key
+// string per probe), per-frame grouping reuses the pend/pendIdx
+// buffers, dead states return their storage to a pool, and emission
+// reuses the generator's emitter.
 type table struct {
 	cfg      Config
 	useMarks bool
-	states   map[string]*State
+
+	intern *objset.Interner
+	states []*State // indexed by objset.Handle; nil when no such state
+	live   int
+
 	// window buffers the object set of each live frame; the marking rule
 	// consults it when folding a parent's frames into a new state.
 	window  map[vr.FrameID]objset.Set
 	next    vr.FrameID
 	metrics Metrics
+
+	// Reusable per-frame scratch.
+	buf     objset.Scratch
+	em      emitter
+	pend    []pending
+	pendIdx map[objset.Handle]int32
+	pool    statePool
+	all     []*State
+	fidsBuf []vr.FrameID
 }
 
 func newTable(cfg Config, useMarks bool) *table {
@@ -28,13 +48,41 @@ func newTable(cfg Config, useMarks bool) *table {
 	return &table{
 		cfg:      cfg,
 		useMarks: useMarks,
-		states:   make(map[string]*State),
+		intern:   objset.NewInterner(),
 		window:   make(map[vr.FrameID]objset.Set),
+		pendIdx:  make(map[objset.Handle]int32),
 	}
 }
 
-func (t *table) StateCount() int  { return len(t.states) }
+func (t *table) StateCount() int  { return t.live }
 func (t *table) Metrics() Metrics { return t.metrics }
+
+// state returns the live state with interned handle h, or nil.
+func (t *table) state(h objset.Handle) *State {
+	if int(h) < len(t.states) {
+		return t.states[h]
+	}
+	return nil
+}
+
+// setState records s as the live state for handle h.
+func (t *table) setState(h objset.Handle, s *State) {
+	for int(h) >= len(t.states) {
+		t.states = append(t.states, nil)
+	}
+	t.states[h] = s
+	t.live++
+}
+
+// remove drops the state with handle h, releasing its interned set and
+// recycling its storage.
+func (t *table) remove(h objset.Handle) {
+	s := t.states[h]
+	t.states[h] = nil
+	t.live--
+	t.intern.Release(h)
+	t.pool.put(s)
+}
 
 // pending accumulates, for one distinct intersection value produced while
 // processing a frame, the parent states that generated it. The new
@@ -43,7 +91,8 @@ func (t *table) Metrics() Metrics { return t.metrics }
 // any parent (§4.2.2 step 2.a, generalized to multiple parents so frame
 // sets stay exact).
 type pending struct {
-	objects objset.Set
+	h       objset.Handle
+	created bool // the handle was first interned by this frame's scan
 	parents []*State
 }
 
@@ -60,41 +109,56 @@ func (t *table) Process(f vr.Frame) []*State {
 			delete(t.window, fid)
 		}
 	}
-	t.window[f.FID] = f.Objects
+	// Let the algebra pick the word-parallel bitmap form when the
+	// frame's ids are dense; every state this frame spawns inherits it.
+	fo := objset.Compact(f.Objects)
+	t.window[f.FID] = fo
 
 	// Phase 1: slide the window — expire old frames, drop dead states.
 	// MFS additionally drops states whose marked frames all expired
 	// (invalid states, Theorem 1).
-	for k, s := range t.states {
+	for h, s := range t.states {
+		if s == nil {
+			continue
+		}
 		s.frames.expireBefore(minFID)
 		if s.frames.len() == 0 || (t.useMarks && !s.frames.hasMarks()) {
-			delete(t.states, k)
+			t.remove(objset.Handle(h))
 			t.metrics.StatesPruned++
 		}
 	}
 
-	if f.Objects.IsEmpty() {
-		return emit(t.collect(), t.cfg.Duration, t.useMarks)
+	if fo.IsEmpty() {
+		return t.em.emit(t.collect(), t.cfg.Duration, t.useMarks)
 	}
 
 	// Phase 2: intersect the arriving object set with every live state,
-	// grouping parents by intersection value.
-	newStates := make(map[string]*pending)
-	frameKey := f.Objects.Key()
-	for _, s := range t.states {
+	// grouping parents by interned intersection handle. New handles are
+	// interned immediately (cloning the scratch-backed value into owned
+	// storage); handles that do not end up with a state are released in
+	// phase 3.
+	t.pend = t.pend[:0]
+	clear(t.pendIdx)
+	scanned := len(t.states) // phase 3 appends; scan only pre-existing entries
+	for h := 0; h < scanned; h++ {
+		s := t.states[h]
+		if s == nil {
+			continue
+		}
 		t.metrics.StatesVisited++
 		t.metrics.Intersections++
-		inter := s.Objects.Intersect(f.Objects)
+		inter := s.Objects.IntersectInto(fo, &t.buf)
 		if inter.IsEmpty() {
 			continue
 		}
-		k := inter.Key()
-		p := newStates[k]
-		if p == nil {
-			p = &pending{objects: inter}
-			newStates[k] = p
+		ih, created := t.intern.Intern(inter)
+		idx, ok := t.pendIdx[ih]
+		if !ok {
+			idx = int32(len(t.pend))
+			t.pend = appendPending(t.pend, ih, created)
+			t.pendIdx[ih] = idx
 		}
-		p.parents = append(p.parents, s)
+		t.pend[idx].parents = append(t.pend[idx].parents, s)
 	}
 
 	// Phase 3: apply the intersections. An existing state absorbs the
@@ -104,38 +168,58 @@ func (t *table) Process(f vr.Frame) []*State {
 	// (§4.2.3: the frame creating a state directly is always marked —
 	// fold yields exactly that, since a frame whose object set equals the
 	// state's kills every blocker).
-	for k, p := range newStates {
-		s, exists := t.states[k]
-		if !exists {
-			if t.cfg.Terminate != nil && t.cfg.Terminate(p.objects) {
-				t.metrics.StatesTerminated++
-				continue
-			}
-			s = &State{Objects: p.objects}
-			t.states[k] = s
-			t.metrics.StatesCreated++
-			for _, fid := range unionFids(p.parents) {
-				t.fold(s, fid, t.window[fid])
-			}
+	for i := range t.pend {
+		p := &t.pend[i]
+		if !p.created {
+			t.fold(t.states[p.h], f.FID, fo)
+			continue
 		}
-		t.fold(s, f.FID, f.Objects)
+		if t.cfg.Terminate != nil && t.cfg.Terminate(t.intern.Of(p.h)) {
+			t.intern.Release(p.h)
+			t.metrics.StatesTerminated++
+			continue
+		}
+		s := t.pool.get()
+		s.Objects = t.intern.Of(p.h)
+		t.setState(p.h, s)
+		t.metrics.StatesCreated++
+		for _, fid := range t.unionFids(p.parents) {
+			t.fold(s, fid, t.window[fid])
+		}
+		t.fold(s, f.FID, fo)
 	}
 
 	// Phase 4 (§4.2.2 step 2.b): if no state carries the frame's own
 	// object set — neither pre-existing nor produced as an intersection —
 	// create it with this frame as its only (marked) member.
-	if _, ok := t.states[frameKey]; !ok {
-		if t.cfg.Terminate != nil && t.cfg.Terminate(f.Objects) {
+	if _, ok := t.intern.Lookup(fo); !ok {
+		if t.cfg.Terminate != nil && t.cfg.Terminate(fo) {
 			t.metrics.StatesTerminated++
 		} else {
-			s := &State{Objects: f.Objects}
-			t.fold(s, f.FID, f.Objects)
-			t.states[frameKey] = s
+			s := t.pool.get()
+			h, _ := t.intern.Intern(fo)
+			s.Objects = t.intern.Of(h)
+			t.fold(s, f.FID, fo)
+			t.setState(h, s)
 			t.metrics.StatesCreated++
 		}
 	}
 
-	return emit(t.collect(), t.cfg.Duration, t.useMarks)
+	return t.em.emit(t.collect(), t.cfg.Duration, t.useMarks)
+}
+
+// appendPending grows pend by one entry, reusing the parents capacity
+// left behind by earlier frames when the backing array allows.
+func appendPending(pend []pending, h objset.Handle, created bool) []pending {
+	n := len(pend)
+	if n < cap(pend) {
+		pend = pend[:n+1]
+		pend[n].h = h
+		pend[n].created = created
+		pend[n].parents = pend[n].parents[:0]
+		return pend
+	}
+	return append(pend, pending{h: h, created: created})
 }
 
 // fold routes frame insertion through the marking rule for MFS; the Naive
@@ -150,44 +234,60 @@ func (t *table) fold(s *State, fid vr.FrameID, of objset.Set) {
 }
 
 // unionFids merges the frame ids of several states into one ascending,
-// deduplicated slice.
-func unionFids(states []*State) []vr.FrameID {
+// deduplicated slice backed by the table's reusable buffer; the result
+// is only valid until the next call.
+func (t *table) unionFids(states []*State) []vr.FrameID {
+	out := t.fidsBuf[:0]
 	if len(states) == 1 {
-		return states[0].Frames()
+		for _, e := range states[0].frames.entries {
+			out = append(out, e.fid)
+		}
+		t.fidsBuf = out[:0]
+		return out
 	}
-	var out []vr.FrameID
 	for _, s := range states {
+		other := s.frames.entries
 		if len(out) == 0 {
-			out = s.Frames()
+			for _, e := range other {
+				out = append(out, e.fid)
+			}
 			continue
 		}
-		other := s.frames.entries
-		merged := make([]vr.FrameID, 0, len(out)+len(other))
+		// Merge in place: append the merged sequence after the current
+		// prefix, then copy it down.
+		n := len(out)
 		i, j := 0, 0
-		for i < len(out) || j < len(other) {
+		for i < n || j < len(other) {
 			switch {
-			case j >= len(other) || (i < len(out) && out[i] < other[j].fid):
-				merged = append(merged, out[i])
+			case j >= len(other) || (i < n && out[i] < other[j].fid):
+				out = append(out, out[i])
 				i++
-			case i >= len(out) || other[j].fid < out[i]:
-				merged = append(merged, other[j].fid)
+			case i >= n || other[j].fid < out[i]:
+				out = append(out, other[j].fid)
 				j++
 			default:
-				merged = append(merged, out[i])
+				out = append(out, out[i])
 				i++
 				j++
 			}
 		}
-		out = merged
+		m := copy(out, out[n:])
+		out = out[:m]
 	}
+	t.fidsBuf = out[:0]
 	return out
 }
 
+// collect gathers the live states into the table's reusable buffer, in
+// handle order (deterministic; the emitter re-sorts its output anyway).
 func (t *table) collect() []*State {
-	out := make([]*State, 0, len(t.states))
+	out := t.all[:0]
 	for _, s := range t.states {
-		out = append(out, s)
+		if s != nil {
+			out = append(out, s)
+		}
 	}
+	t.all = out
 	return out
 }
 

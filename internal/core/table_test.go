@@ -210,6 +210,9 @@ func TestMarksStayKeyFrameSetsRandom(t *testing.T) {
 			g.Process(f)
 			strict := int(f.FID) < w // no expiry yet
 			for _, s := range g.states {
+				if s == nil {
+					continue
+				}
 				checkKeyFrameSet(t, s, window, strict)
 			}
 		}
@@ -225,10 +228,10 @@ func TestPaperTable2Pruning(t *testing.T) {
 	for _, f := range paperFeed() {
 		g.Process(f)
 	}
-	if s := g.states[objset.New(oB).Key()]; s != nil {
+	if s := stateOf(&g.table, objset.New(oB)); s != nil {
 		t.Errorf("frame 4: {B} still live: %v", s)
 	}
-	if s := g.states[objset.New(oA, oB).Key()]; s == nil {
+	if s := stateOf(&g.table, objset.New(oA, oB)); s == nil {
 		t.Error("frame 4: valid state {AB} was pruned")
 	} else if !s.Valid() {
 		t.Errorf("frame 4: {AB} has no marks: %v", s)
@@ -248,7 +251,7 @@ func TestMFSPrunesInvalidStatesEarly(t *testing.T) {
 		t.Errorf("NAIVE holds %d states, MFS %d; MFS should hold fewer",
 			naive.StateCount(), mfs.StateCount())
 	}
-	if _, ok := naive.states[objset.New(oB).Key()]; !ok {
+	if stateOf(&naive.table, objset.New(oB)) == nil {
 		t.Error("NAIVE dropped {B}; it should only be filtered at emission")
 	}
 }
@@ -481,7 +484,7 @@ func TestStateString(t *testing.T) {
 	g := NewMFS(Config{Window: 4, Duration: 3})
 	feed := paperFeed()
 	g.Process(feed[0])
-	s := g.states[objset.New(oB).Key()]
+	s := stateOf(&g.table, objset.New(oB))
 	if got := s.String(); got != "({2}, {*0})" {
 		t.Errorf("String() = %q", got)
 	}
@@ -499,4 +502,13 @@ func TestAggregateCachesCounts(t *testing.T) {
 	if &again[0] != &agg[0] {
 		t.Error("aggregate not cached")
 	}
+}
+
+// stateOf resolves a live state by object set through the intern table,
+// the way the generators themselves do.
+func stateOf(t *table, s objset.Set) *State {
+	if h, ok := t.intern.Lookup(s); ok {
+		return t.state(h)
+	}
+	return nil
 }

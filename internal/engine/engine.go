@@ -201,9 +201,12 @@ func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
 		panic(fmt.Sprintf("engine: frame %d out of order (want %d)", f.FID, e.next))
 	}
 	e.next++
-	for _, id := range f.Objects.IDs() {
+	// Range, not IDs(): frame sets may arrive in the dense bitmap
+	// representation, where IDs() materializes a fresh slice per call.
+	f.Objects.Range(func(id objset.ID) bool {
 		e.classes[id] = f.Classes[id]
-	}
+		return true
+	})
 
 	var out []query.Match
 	for _, g := range e.groups {
@@ -212,6 +215,9 @@ func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
 			gf.Objects = filterSet(f.Objects, f.Classes, g.keep)
 		}
 		gf.FID = f.FID - g.startFID()
+		// states is only valid until the group's next Process call
+		// (generators reuse emission buffers and recycle dead states);
+		// EvaluateStates copies everything a Match retains.
 		states := g.gen.Process(gf)
 		if e.opts.Windows == Tumbling && (gf.FID+1)%vr.FrameID(g.window) != 0 {
 			continue // results only at block boundaries
@@ -240,14 +246,14 @@ func shiftFrames(frames []vr.FrameID, delta vr.FrameID) {
 }
 
 func filterSet(s objset.Set, classes map[objset.ID]vr.Class, keep map[vr.Class]bool) objset.Set {
-	ids := s.IDs()
-	kept := make([]objset.ID, 0, len(ids))
-	for _, id := range ids {
+	kept := make([]objset.ID, 0, s.Len())
+	s.Range(func(id objset.ID) bool {
 		if keep[classes[id]] {
 			kept = append(kept, id)
 		}
-	}
-	if len(kept) == len(ids) {
+		return true
+	})
+	if len(kept) == s.Len() {
 		return s
 	}
 	return objset.FromSorted(kept)

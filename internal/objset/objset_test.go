@@ -313,3 +313,239 @@ func BenchmarkIntersect(b *testing.B) {
 		_ = a.Intersect(c)
 	}
 }
+
+// --- representation-agreement and allocation-discipline tests ---
+
+// forceDense returns s as a bitmap regardless of the density heuristic;
+// forceSparse returns it as a sorted slice. Together they let every
+// property below be checked on all four representation pairings.
+func forceDense(s Set) Set {
+	if s.IsEmpty() {
+		return s
+	}
+	ids := s.IDs()
+	off := ids[0] &^ 63
+	words := make([]uint64, ids[len(ids)-1]/64-ids[0]/64+1)
+	for _, id := range ids {
+		words[(id-off)/64] |= 1 << ((id - off) % 64)
+	}
+	return Set{words: words, off: off, card: int32(len(ids))}
+}
+
+func forceSparse(s Set) Set {
+	if s.IsEmpty() {
+		return s
+	}
+	return Set{ids: s.IDs()}
+}
+
+// reprs returns s in both representations.
+func reprs(s Set) [2]Set { return [2]Set{forceSparse(s), forceDense(s)} }
+
+// randWideSet mixes dense clusters with far outliers so both the
+// heuristic's dense and sparse choices, aligned and misaligned offsets,
+// and disjoint ranges all occur.
+func randWideSet(r *rand.Rand) Set {
+	n := r.Intn(40)
+	ids := make([]ID, 0, n)
+	base := ID(r.Intn(300))
+	for i := 0; i < n; i++ {
+		if r.Intn(8) == 0 {
+			ids = append(ids, ID(r.Intn(4000)))
+		} else {
+			ids = append(ids, base+ID(r.Intn(64)))
+		}
+	}
+	return New(ids...)
+}
+
+// TestRepresentationsAgree checks that every operation returns identical
+// results for all four pairings of sparse and dense operands, and that
+// Equal/Hash/Compare/Key/Len are representation-blind.
+func TestRepresentationsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var scratch Scratch
+	for trial := 0; trial < 3000; trial++ {
+		a, b := randWideSet(r), randWideSet(r)
+		wantInter := forceSparse(a).Intersect(forceSparse(b))
+		wantUnion := forceSparse(a).Union(forceSparse(b))
+		wantMinus := forceSparse(a).Minus(forceSparse(b))
+		for _, av := range reprs(a) {
+			if av.Len() != a.Len() || av.Hash() != a.Hash() || av.Key() != a.Key() {
+				t.Fatalf("representation changed Len/Hash/Key of %v", a)
+			}
+			for _, bv := range reprs(b) {
+				if got := av.Intersect(bv); !got.Equal(wantInter) {
+					t.Fatalf("%v ∩ %v = %v, want %v", av, bv, got, wantInter)
+				}
+				if got := av.IntersectInto(bv, &scratch); !got.Equal(wantInter) {
+					t.Fatalf("IntersectInto(%v, %v) = %v, want %v", av, bv, got, wantInter)
+				}
+				if got := av.Union(bv); !got.Equal(wantUnion) {
+					t.Fatalf("%v ∪ %v = %v, want %v", av, bv, got, wantUnion)
+				}
+				if got := av.Minus(bv); !got.Equal(wantMinus) {
+					t.Fatalf("%v \\ %v = %v, want %v", av, bv, got, wantMinus)
+				}
+				if got := av.IntersectLen(bv); got != wantInter.Len() {
+					t.Fatalf("IntersectLen(%v, %v) = %d, want %d", av, bv, got, wantInter.Len())
+				}
+				if got := av.Intersects(bv); got != !wantInter.IsEmpty() {
+					t.Fatalf("Intersects(%v, %v) = %v", av, bv, got)
+				}
+				if got := av.SubsetOf(bv); got != (wantInter.Len() == a.Len()) {
+					t.Fatalf("SubsetOf(%v, %v) = %v", av, bv, got)
+				}
+				if got := av.Equal(bv); got != a.Equal(b) {
+					t.Fatalf("Equal(%v, %v) = %v", av, bv, got)
+				}
+				if got := Compare(av, bv); got != Compare(forceSparse(a), forceSparse(b)) {
+					t.Fatalf("Compare(%v, %v) = %d", av, bv, got)
+				}
+				// In-place intersection on an owned copy.
+				own := av.Clone()
+				own.IntersectWith(bv)
+				if !own.Equal(wantInter) {
+					t.Fatalf("IntersectWith(%v, %v) = %v, want %v", av, bv, own, wantInter)
+				}
+			}
+			// Member iteration.
+			var ids []ID
+			av.Range(func(id ID) bool { ids = append(ids, id); return true })
+			if len(ids) != a.Len() {
+				t.Fatalf("Range of %v yielded %v", av, ids)
+			}
+			for i, id := range av.IDs() {
+				if ids[i] != id {
+					t.Fatalf("Range/IDs disagree on %v: %v vs %v", av, ids, av.IDs())
+				}
+				if !av.Contains(id) {
+					t.Fatalf("Contains(%d) false on %v", id, av)
+				}
+			}
+			if got := av.AppendTo(nil); len(got) != a.Len() {
+				t.Fatalf("AppendTo of %v = %v", av, got)
+			}
+			if cl := av.Clone(); !cl.Equal(a) {
+				t.Fatalf("Clone(%v) = %v", av, cl)
+			}
+		}
+	}
+}
+
+// TestCompareIsTotalOrder checks antisymmetry, transitivity and
+// consistency with Equal on random triples.
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 4000; trial++ {
+		a, b, c := randWideSet(r), randWideSet(r), randWideSet(r)
+		if (Compare(a, b) == 0) != a.Equal(b) {
+			t.Fatalf("Compare zero disagrees with Equal: %v vs %v", a, b)
+		}
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("Compare not antisymmetric: %v vs %v", a, b)
+		}
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("Compare not transitive: %v %v %v", a, b, c)
+		}
+	}
+	// Prefix sorts first; byte-wise key order would invert this pair.
+	if Compare(New(1), New(1, 2)) >= 0 {
+		t.Error("prefix does not sort first")
+	}
+	if Compare(New(1), New(256)) >= 0 {
+		t.Error("id order violated for multi-byte ids")
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 2000; trial++ {
+		s := randWideSet(r)
+		c := Compact(s)
+		if !c.Equal(s) || c.Len() != s.Len() || c.Hash() != s.Hash() {
+			t.Fatalf("Compact changed contents: %v → %v", s, c)
+		}
+	}
+	// Dense window-local ids must actually go dense.
+	ids := make([]ID, 64)
+	for i := range ids {
+		ids[i] = ID(i * 2)
+	}
+	if d := Compact(New(ids...)); d.words == nil {
+		t.Error("dense window-local set stayed sparse")
+	}
+	// Wide-spread ids must stay sparse.
+	if s := Compact(New(1, 1000, 100000, 1000000)); s.words != nil {
+		t.Error("wide-spread set went dense")
+	}
+}
+
+// TestAlgebraSteadyStateAllocFree pins the zero-allocation contract of
+// the hot-path operations on warm scratch buffers, for both
+// representations.
+func TestAlgebraSteadyStateAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	var pairs [][2]Set
+	for i := 0; i < 32; i++ {
+		a, b := randWideSet(r), randWideSet(r)
+		pairs = append(pairs, [2]Set{a, b}, [2]Set{forceDense(a), forceDense(b)},
+			[2]Set{forceSparse(a), forceDense(b)})
+	}
+	var buf Scratch
+	for _, p := range pairs { // warm the scratch
+		p[0].IntersectInto(p[1], &buf)
+	}
+	sink := 0
+	if n := testing.AllocsPerRun(50, func() {
+		for _, p := range pairs {
+			s := p[0].IntersectInto(p[1], &buf)
+			sink += s.Len()
+			sink += p[0].IntersectLen(p[1])
+			if p[0].SubsetOf(p[1]) {
+				sink++
+			}
+			if p[0].Intersects(p[1]) {
+				sink++
+			}
+			sink += int(p[0].Hash() & 1)
+			sink += Compare(p[0], p[1])
+		}
+	}); n != 0 {
+		t.Errorf("steady-state algebra allocates %.1f per run of %d pairs", n, len(pairs))
+	}
+	if sink == -1 {
+		t.Log("impossible")
+	}
+}
+
+// TestTopOfIDSpace pins the uint32 boundary: a dense set whose ids
+// reach the last 64-id block has an exclusive range end of exactly
+// 2^32, which must not wrap to 0 and make the set disjoint from
+// everything (including itself).
+func TestTopOfIDSpace(t *testing.T) {
+	ids := make([]ID, 64)
+	for i := range ids {
+		ids[i] = ^ID(0) - ID(63-i) // 4294967232..4294967295
+	}
+	s := New(ids...)
+	if s.words == nil {
+		t.Fatal("top-block set did not go dense")
+	}
+	if !s.SubsetOf(s) || s.Intersect(s).Len() != 64 || !s.Intersects(s) {
+		t.Fatalf("top-block set disjoint from itself: ∩=%d", s.Intersect(s).Len())
+	}
+	sub := New(ids[:8]...)
+	for _, sv := range reprs(s) {
+		for _, subv := range reprs(sub) {
+			if subv.IntersectLen(sv) != 8 || !subv.SubsetOf(sv) {
+				t.Fatalf("top-block subset ops wrong: len=%d", subv.IntersectLen(sv))
+			}
+			own := sv.Clone()
+			own.IntersectWith(subv)
+			if !own.Equal(sub) {
+				t.Fatalf("top-block IntersectWith = %v", own)
+			}
+		}
+	}
+}

@@ -36,6 +36,11 @@ type Evaluator struct {
 	// push-down uses the group's minimum duration, so individual queries
 	// re-check their own.
 	byID map[int]cnf.Query
+
+	// countsBuf is the per-state label-count map, reused across states
+	// and frames (the index reads it synchronously); one reason the
+	// evaluator is not safe for concurrent use.
+	countsBuf map[string]int
 }
 
 // NewEvaluator builds an evaluator over queries. All queries must share
@@ -63,11 +68,12 @@ func NewEvaluator(reg *vr.Registry, queries []cnf.Query) (*Evaluator, error) {
 		return nil, err
 	}
 	return &Evaluator{
-		queries: queries,
-		index:   index,
-		reg:     reg,
-		labels:  index.Labels(),
-		byID:    byID,
+		queries:   queries,
+		index:     index,
+		reg:       reg,
+		labels:    index.Labels(),
+		byID:      byID,
+		countsBuf: make(map[string]int, len(index.Labels())),
 	}, nil
 }
 
@@ -101,16 +107,17 @@ func (e *Evaluator) Classes() map[vr.Class]bool {
 }
 
 // counts derives the per-label object counts of a state, using the
-// state's cached per-class aggregate (§5.2 step 2a).
+// state's cached per-class aggregate (§5.2 step 2a). The returned map is
+// the evaluator's reusable buffer, valid until the next call.
 func (e *Evaluator) counts(s *core.State, classOf func(objset.ID) vr.Class) map[string]int {
 	agg := s.Aggregate(e.reg.Len(), classOf)
-	counts := make(map[string]int, len(e.labels))
+	clear(e.countsBuf)
 	for _, label := range e.labels {
 		if c, ok := e.reg.Lookup(label); ok {
-			counts[label] = agg[c]
+			e.countsBuf[label] = agg[c]
 		}
 	}
-	return counts
+	return e.countsBuf
 }
 
 // EvaluateStates runs every query against a result state set and returns
@@ -131,7 +138,7 @@ func (e *Evaluator) EvaluateStates(states []*core.State, classOf func(objset.ID)
 		if out[i].QueryID != out[j].QueryID {
 			return out[i].QueryID < out[j].QueryID
 		}
-		return out[i].Objects.Key() < out[j].Objects.Key()
+		return objset.Compare(out[i].Objects, out[j].Objects) < 0
 	})
 	return out
 }
@@ -148,36 +155,48 @@ func (e *Evaluator) GEOnly() bool { return e.index.GEOnly() }
 //
 // Decisions are memoized per object set — the predicate depends only on
 // per-class counts, which are fixed for a given set — so a set that is
-// re-derived as the window slides pays the index scan once. The returned
-// predicate is not safe for concurrent use.
+// re-derived as the window slides pays the index scan once. The memo
+// keys on the set's 64-bit content hash with an exact-equality chain on
+// collisions, so a memo hit allocates nothing (the seed built a key
+// string per call). The returned predicate is not safe for concurrent
+// use.
 func (e *Evaluator) TerminatePredicate(classOf func(objset.ID) vr.Class) func(objset.Set) bool {
 	if !e.GEOnly() {
 		return nil
 	}
+	type memoEntry struct {
+		set objset.Set
+		v   bool
+	}
 	nclasses := e.reg.Len()
-	memo := make(map[string]bool)
+	memo := make(map[uint64][]memoEntry)
 	counts := make(map[string]int, len(e.labels))
 	agg := make([]int, nclasses)
 	return func(objects objset.Set) bool {
-		key := objects.Key()
-		if v, ok := memo[key]; ok {
-			return v
+		key := objects.Hash()
+		for _, m := range memo[key] {
+			if m.set.Equal(objects) {
+				return m.v
+			}
 		}
 		for i := range agg {
 			agg[i] = 0
 		}
-		for _, id := range objects.IDs() {
+		objects.Range(func(id objset.ID) bool {
 			if c := int(classOf(id)); c < nclasses {
 				agg[c]++
 			}
-		}
+			return true
+		})
 		for _, label := range e.labels {
 			if c, ok := e.reg.Lookup(label); ok {
 				counts[label] = agg[c]
 			}
 		}
 		v := !e.index.AnySatisfiedSet(counts, objects.Contains)
-		memo[key] = v
+		// objects may be scratch-backed (generators probe with transient
+		// intersections); the memo must own its copy.
+		memo[key] = append(memo[key], memoEntry{set: objects.Clone(), v: v})
 		return v
 	}
 }
