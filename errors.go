@@ -32,6 +32,14 @@ var (
 	// ErrSessionClosed reports an operation on a closed Session (after
 	// Close, or after the Open context was cancelled).
 	ErrSessionClosed = errors.New("tvq: session closed")
+
+	// ErrSessionExists reports a SessionManager.Open with a name that is
+	// already serving.
+	ErrSessionExists = errors.New("tvq: session name already in use")
+
+	// ErrUnknownSession reports a SessionManager operation naming a
+	// session the manager does not hold.
+	ErrUnknownSession = errors.New("tvq: unknown session")
 )
 
 // ParseError is a structured query-text parse failure with the byte

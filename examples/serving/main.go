@@ -1,0 +1,158 @@
+// Serving: run the tvqd serving stack in-process — HTTP ingest, an SSE
+// match stream, metrics, and a graceful checkpointed shutdown with
+// resume — the networked face of the Session API.
+//
+//	go run ./examples/serving
+//
+// (Production deployments run `cmd/tvqd` as a standalone daemon; this
+// example embeds the same server so it is self-contained.)
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tvq"
+	"tvq/internal/server"
+)
+
+func main() {
+	reg := tvq.StandardRegistry()
+	ckDir := filepath.Join(os.TempDir(), "tvqd-example")
+	defer os.RemoveAll(ckDir)
+
+	// --- A daemon's worth of serving stack on a loopback port. ---
+	srv := server.New(server.Config{
+		Registry:        reg,
+		CheckpointDir:   ckDir,
+		CheckpointEvery: tvq.EveryFrames(100),
+	})
+	base, stop := listen(srv)
+
+	// Create the default session with one query: at least two people
+	// jointly visible for 1 of the last 4 seconds (30 fps).
+	post(base+"/v1/sessions",
+		`{"queries":[{"id":1,"query":"person >= 2","window":120,"duration":30}]}`)
+	fmt.Println("session created with query 1")
+
+	// Subscribe to the live match stream (SSE) before ingesting.
+	events := make(chan string, 1024)
+	sse, err := http.Get(base + "/v1/queries/1/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(sse.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
+				events <- strings.TrimPrefix(line, "data: ")
+			}
+		}
+	}()
+	fmt.Println("stream attached:", <-events) // the ready event
+
+	// --- Ingest a synthetic feed over HTTP, in JSONL batches. ---
+	profile, _ := tvq.DatasetByName("M1") // pedestrian-heavy MOT16-06 shape
+	profile.Frames = 600
+	profile.Objects = 120
+	trace, err := tvq.GenerateDataset(profile, 42, tvq.Noise{}, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	if err := tvq.WriteTraceJSONL(&jsonl, trace, reg); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	matches := 0
+	for start := 0; start < len(lines); start += 120 {
+		end := min(start+120, len(lines))
+		resp := post(base+"/v1/feeds/0/frames", strings.Join(lines[start:end], "\n"))
+		var r struct {
+			Accepted int   `json:"accepted"`
+			Matches  int   `json:"matches"`
+			NextFID  int64 `json:"next_fid"`
+		}
+		decode(resp, &r)
+		matches += r.Matches
+		fmt.Printf("ingested %3d frames (cursor %3d): %d matches so far\n", r.Accepted, r.NextFID, matches)
+	}
+
+	// A few live deliveries from the stream, then the daemon's metrics.
+	for i := 0; i < 3 && matches > 0; i++ {
+		fmt.Println("stream delivery:", <-events)
+	}
+	metrics, _ := http.Get(base + "/metrics")
+	body, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "tvq_frames_ingested_total") ||
+			strings.HasPrefix(line, "tvq_matches_emitted_total") {
+			fmt.Println("metric:", line)
+		}
+	}
+
+	// --- Graceful shutdown writes the checkpoint... ---
+	sse.Body.Close()
+	srv.Shutdown()
+	stop()
+	fmt.Println("daemon stopped; checkpoint written")
+
+	// --- ...and a restarted daemon resumes exactly where it stopped. ---
+	srv2 := server.New(server.Config{
+		Registry:        reg,
+		CheckpointDir:   ckDir,
+		CheckpointEvery: tvq.EveryFrames(100),
+	})
+	base2, stop2 := listen(srv2)
+	defer stop2()
+	resp := post(base2+"/v1/sessions", `{"name":"default"}`)
+	var re struct {
+		Resumed bool  `json:"resumed"`
+		Queries []int `json:"queries"`
+	}
+	decode(resp, &re)
+	sess, _ := srv2.Manager().Get("default")
+	fmt.Printf("restarted: resumed=%v queries=%v cursor=%d\n", re.Resumed, re.Queries, sess.NextFID(0))
+	srv2.Shutdown()
+}
+
+// listen serves srv on a loopback port and returns its base URL.
+func listen(srv *server.Server) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }
+}
+
+func post(url, body string) []byte {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+func decode(data []byte, v any) {
+	if err := json.Unmarshal(data, v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -41,6 +41,9 @@ func (o *Oracle) Process(f vr.Frame) []*State {
 		panic("core: frames must be processed in order starting at 0")
 	}
 	o.next++
+	// Same input-ownership contract as the incremental generators: the
+	// window retains the frame, so detach it from the caller's storage.
+	f.Objects = f.Objects.Clone()
 	o.window = append(o.window, f)
 	if len(o.window) > o.cfg.Window {
 		o.window = o.window[1:]

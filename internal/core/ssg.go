@@ -163,7 +163,11 @@ func (g *SSG) Process(f vr.Frame) []*State {
 			delete(g.window, fid)
 		}
 	}
-	f.Objects = objset.Compact(f.Objects)
+	// Clone, not Compact: the window buffer (and any principal state
+	// interned from it) outlives this call, while the frame's own storage
+	// belongs to the caller and may be reused for the next frame. Clone
+	// also picks the word-parallel bitmap form when the ids are dense.
+	f.Objects = f.Objects.Clone()
 	g.window[f.FID] = f.Objects
 
 	// Periodic full sweep: traversal expires nodes lazily, so nodes in

@@ -314,6 +314,12 @@ func (s *State) Aggregate(nclasses int, classOf func(objset.ID) vr.Class) []int 
 // points to are only valid until the next call to Process (generators
 // reuse emission buffers and recycle dead states). The slice is sorted by
 // object set (objset.Compare order) for deterministic comparison.
+//
+// Ownership of the input is the mirror image: Process takes its own copy
+// of everything it retains from f (the window buffer clones f.Objects),
+// so the caller may reuse the frame's backing storage — object-id slices,
+// bitmap words — to build the next frame as soon as Process returns. A
+// live ingest loop can therefore decode into one reusable buffer.
 type Generator interface {
 	Name() string
 	Process(f vr.Frame) []*State

@@ -109,9 +109,12 @@ func (t *table) Process(f vr.Frame) []*State {
 			delete(t.window, fid)
 		}
 	}
-	// Let the algebra pick the word-parallel bitmap form when the
-	// frame's ids are dense; every state this frame spawns inherits it.
-	fo := objset.Compact(f.Objects)
+	// Clone, not Compact: the window buffer outlives this call, and the
+	// frame's own storage belongs to the caller (a live ingest loop may
+	// reuse its buffers for the next frame). Clone also picks the
+	// word-parallel bitmap form when the frame's ids are dense; every
+	// state this frame spawns inherits it.
+	fo := f.Objects.Clone()
 	t.window[f.FID] = fo
 
 	// Phase 1: slide the window — expire old frames, drop dead states.

@@ -9,6 +9,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"tvq/internal/cnf"
 	"tvq/internal/core"
@@ -55,6 +56,30 @@ type Options struct {
 	KeepAllClasses bool
 	// Windows selects sliding (default) or tumbling window semantics.
 	Windows WindowMode
+	// Observe, when non-nil, receives one ProcessStat per window group
+	// per processed frame — the serving layer's hook for per-generator
+	// latency and throughput metrics. It runs inline on the processing
+	// path (on worker goroutines when the engine is part of a pool), so
+	// it must be cheap and safe for concurrent use. Observers hold live
+	// resources and are not recorded in snapshots; pass the option again
+	// when restoring.
+	Observe func(ProcessStat)
+}
+
+// ProcessStat describes one window group's share of one ProcessFrame
+// call, for Options.Observe.
+type ProcessStat struct {
+	// Window is the group's window size, identifying the generator.
+	Window int
+	// States is the number of result states the generator emitted.
+	States int
+	// Matches is the number of query matches evaluated from them (zero
+	// on non-boundary frames in tumbling mode, where evaluation is
+	// skipped).
+	Matches int
+	// Elapsed is the wall-clock cost of the generator's Process call
+	// plus query evaluation.
+	Elapsed time.Duration
 }
 
 // group is one window-size group: an evaluator plus its generator.
@@ -195,7 +220,10 @@ func newGenerator(m Method, cfg core.Config) (core.Generator, error) {
 
 // ProcessFrame consumes the next frame of the feed (ids must be
 // consecutive from 0) and returns all query matches for the windows
-// ending at this frame.
+// ending at this frame. The returned matches are caller-owned and stay
+// valid as further frames are processed; conversely the engine retains
+// no alias into f, so the caller may reuse the frame's backing storage
+// (see the ownership notes on core.Generator).
 func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
 	if f.FID != e.next {
 		panic(fmt.Sprintf("engine: frame %d out of order (want %d)", f.FID, e.next))
@@ -215,16 +243,30 @@ func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
 			gf.Objects = filterSet(f.Objects, f.Classes, g.keep)
 		}
 		gf.FID = f.FID - g.startFID()
+		var began time.Time
+		if e.opts.Observe != nil {
+			began = time.Now()
+		}
 		// states is only valid until the group's next Process call
 		// (generators reuse emission buffers and recycle dead states);
-		// EvaluateStates copies everything a Match retains.
+		// EvaluateStates copies everything a Match retains, which is what
+		// makes the returned matches durable past this call (see the
+		// ownership notes on core.Generator).
 		states := g.gen.Process(gf)
-		if e.opts.Windows == Tumbling && (gf.FID+1)%vr.FrameID(g.window) != 0 {
-			continue // results only at block boundaries
+		var matches []query.Match
+		if e.opts.Windows != Tumbling || (gf.FID+1)%vr.FrameID(g.window) == 0 {
+			matches = g.eval.EvaluateStates(states, e.classOf)
+			for i := range matches {
+				shiftFrames(matches[i].Frames, g.startFID())
+			}
 		}
-		matches := g.eval.EvaluateStates(states, e.classOf)
-		for i := range matches {
-			shiftFrames(matches[i].Frames, g.startFID())
+		if e.opts.Observe != nil {
+			e.opts.Observe(ProcessStat{
+				Window:  g.window,
+				States:  len(states),
+				Matches: len(matches),
+				Elapsed: time.Since(began),
+			})
 		}
 		out = append(out, matches...)
 	}

@@ -464,6 +464,9 @@ func (p *Pool) Stream(ctx context.Context, in <-chan FeedFrame) <-chan FeedResul
 // Workers returns the number of engine shards in the pool.
 func (p *Pool) Workers() int { return len(p.workers) }
 
+// Mode returns the pool's shard mode.
+func (p *Pool) Mode() ShardMode { return p.opts.Mode }
+
 // Method returns the state maintenance strategy the pool's engines run.
 func (p *Pool) Method() Method {
 	if p.opts.Engine.Method == "" {

@@ -14,7 +14,11 @@ import (
 // one goroutine, never concurrently with Process.
 type Processor interface {
 	// Process runs one batch of frames and returns the frames that
-	// produced at least one match, in ingestion order.
+	// produced at least one match, in ingestion order. Results are
+	// caller-owned: matches stay valid indefinitely (the evaluation
+	// layer detaches them from generator state), and the processor
+	// keeps nothing that aliases the caller's frames — the caller may
+	// reuse frame backing storage as soon as Process returns.
 	Process(frames []FeedFrame) []FeedResult
 	// AddQuery registers a query on the live processor; see
 	// Engine.AddQuery for the sharing/restart semantics and the

@@ -132,7 +132,7 @@ func decodeEngine(sr *snapshot.Reader, opts Options) (*Engine, error) {
 	}
 
 	e := &Engine{
-		opts:    Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows},
+		opts:    Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows, Observe: opts.Observe},
 		reg:     reg,
 		classes: make(map[objset.ID]vr.Class),
 	}
@@ -385,12 +385,12 @@ func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
 		Workers: workers,
 		Mode:    mode,
 		Batch:   batch,
-		Engine:  Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows},
+		Engine:  Options{Method: method, Prune: prune, Registry: reg, KeepAllClasses: keepAll, Windows: windows, Observe: opts.Engine.Observe},
 	})
 
 	if mode == ShardByGroup {
 		for _, w := range p.workers {
-			eng, err := decodeEngine(sr, Options{Registry: reg})
+			eng, err := decodeEngine(sr, Options{Registry: reg, Observe: opts.Engine.Observe})
 			if err != nil {
 				return nil, err
 			}
@@ -408,7 +408,7 @@ func RestorePool(r io.Reader, opts PoolOptions) (*Pool, error) {
 				return nil, fmt.Errorf("engine: snapshot records feed %d twice", feed)
 			}
 			seen[feed] = true
-			eng, err := decodeEngine(sr, Options{Registry: reg})
+			eng, err := decodeEngine(sr, Options{Registry: reg, Observe: opts.Engine.Observe})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,118 @@
+// Package server exposes the tvq Session API over HTTP: batched frame
+// ingest per feed, dynamic query subscriptions, and streaming match
+// delivery over SSE or chunked JSONL, with Prometheus-style metrics and
+// graceful, checkpointed shutdown. It is the serving layer behind the
+// tvqd daemon; the library surface stays in package tvq.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tvq"
+)
+
+// Metrics aggregates serving counters across every session the server
+// runs. All methods are safe for concurrent use; the per-window-group
+// generator stats are fed by the engine's WithObserver hook, which runs
+// on the processing hot path (pooled sessions call it from worker
+// goroutines), so everything here is lock-free atomics plus one RWMutex
+// around the window-group map's shape.
+type Metrics struct {
+	start time.Time
+
+	framesIngested atomic.Uint64 // frames accepted by POST .../frames
+	matchesEmitted atomic.Uint64 // matches returned by Process
+	ingestRequests atomic.Uint64 // ingest HTTP requests handled
+	ingestRejected atomic.Uint64 // ingest requests rejected for backpressure
+	streamsActive  atomic.Int64  // currently connected match streams
+	streamsServed  atomic.Uint64 // match streams ever opened
+	droppedTotal   atomic.Uint64 // deliveries dropped by slow stream taps
+
+	mu     sync.RWMutex
+	groups map[int]*groupStats // window size → generator stats
+}
+
+// groupStats is one window group's cumulative generator cost, fed by
+// engine ProcessStat observations.
+type groupStats struct {
+	frames  atomic.Uint64
+	states  atomic.Uint64
+	matches atomic.Uint64
+	nanos   atomic.Uint64
+}
+
+// NewMetrics returns a zeroed metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), groups: make(map[int]*groupStats)}
+}
+
+// Observe is the engine instrumentation hook (tvq.WithObserver): one
+// call per window group per processed frame.
+func (m *Metrics) Observe(st tvq.ProcessStat) {
+	m.mu.RLock()
+	g := m.groups[st.Window]
+	m.mu.RUnlock()
+	if g == nil {
+		m.mu.Lock()
+		if g = m.groups[st.Window]; g == nil {
+			g = &groupStats{}
+			m.groups[st.Window] = g
+		}
+		m.mu.Unlock()
+	}
+	g.frames.Add(1)
+	g.states.Add(uint64(st.States))
+	g.matches.Add(uint64(st.Matches))
+	g.nanos.Add(uint64(st.Elapsed.Nanoseconds()))
+}
+
+// WritePrometheus renders the counters in the Prometheus text
+// exposition format. sessions is sampled by the caller (the server
+// knows its session table; the metrics registry does not).
+func (m *Metrics) WritePrometheus(w io.Writer, sessions int) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("tvq_frames_ingested_total", "Frames accepted over HTTP ingest.", m.framesIngested.Load())
+	counter("tvq_matches_emitted_total", "Query matches produced by ingested frames.", m.matchesEmitted.Load())
+	counter("tvq_ingest_requests_total", "Ingest requests handled.", m.ingestRequests.Load())
+	counter("tvq_ingest_rejected_total", "Ingest requests rejected for backpressure.", m.ingestRejected.Load())
+	counter("tvq_streams_served_total", "Match streams ever opened.", m.streamsServed.Load())
+	counter("tvq_stream_dropped_total", "Deliveries dropped by slow stream consumers.", m.droppedTotal.Load())
+	gauge("tvq_streams_active", "Currently connected match streams.", m.streamsActive.Load())
+	gauge("tvq_sessions_open", "Sessions currently serving.", int64(sessions))
+	gauge("tvq_uptime_seconds", "Seconds since the server started.", int64(time.Since(m.start).Seconds()))
+
+	m.mu.RLock()
+	windows := make([]int, 0, len(m.groups))
+	for w := range m.groups {
+		windows = append(windows, w)
+	}
+	sort.Ints(windows)
+	fmt.Fprintf(w, "# HELP tvq_generator_process_seconds_total Cumulative generator Process+evaluate time per window group.\n# TYPE tvq_generator_process_seconds_total counter\n")
+	for _, win := range windows {
+		g := m.groups[win]
+		fmt.Fprintf(w, "tvq_generator_process_seconds_total{window=%q} %.9f\n", fmt.Sprint(win), float64(g.nanos.Load())/1e9)
+	}
+	fmt.Fprintf(w, "# HELP tvq_generator_frames_total Frames processed per window group.\n# TYPE tvq_generator_frames_total counter\n")
+	for _, win := range windows {
+		fmt.Fprintf(w, "tvq_generator_frames_total{window=%q} %d\n", fmt.Sprint(win), m.groups[win].frames.Load())
+	}
+	fmt.Fprintf(w, "# HELP tvq_generator_states_total Result states emitted per window group.\n# TYPE tvq_generator_states_total counter\n")
+	for _, win := range windows {
+		fmt.Fprintf(w, "tvq_generator_states_total{window=%q} %d\n", fmt.Sprint(win), m.groups[win].states.Load())
+	}
+	fmt.Fprintf(w, "# HELP tvq_generator_matches_total Matches evaluated per window group.\n# TYPE tvq_generator_matches_total counter\n")
+	for _, win := range windows {
+		fmt.Fprintf(w, "tvq_generator_matches_total{window=%q} %d\n", fmt.Sprint(win), m.groups[win].matches.Load())
+	}
+	m.mu.RUnlock()
+}

@@ -1,0 +1,692 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tvq"
+)
+
+// serverTrace builds a deterministic feed with a healthy match density:
+// one car throughout, two people in frames 10-60, a third in 30-80.
+func serverTrace(t *testing.T) *tvq.Trace {
+	t.Helper()
+	reg := tvq.StandardRegistry()
+	car, person := reg.Class("car"), reg.Class("person")
+	var tuples []tvq.Tuple
+	for f := int64(0); f < 100; f++ {
+		tuples = append(tuples, tvq.Tuple{FID: f, ID: 1, Class: car})
+		if f >= 10 && f < 60 {
+			tuples = append(tuples, tvq.Tuple{FID: f, ID: 2, Class: person})
+			tuples = append(tuples, tvq.Tuple{FID: f, ID: 3, Class: person})
+		}
+		if f >= 30 && f < 80 {
+			tuples = append(tuples, tvq.Tuple{FID: f, ID: 4, Class: person})
+		}
+	}
+	tr, err := tvq.NewTraceFromTuples(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const testQuery = "car >= 1 AND person >= 2"
+
+// traceJSONL renders trace frames [from:to) as JSONL ingest bodies of
+// batch frames each.
+func traceJSONL(t *testing.T, tr *tvq.Trace, from, to int64, batch int) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tvq.WriteTraceJSONL(&buf, tr, tvq.StandardRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	lines = lines[from:to]
+	var bodies []string
+	for len(lines) > 0 {
+		n := min(batch, len(lines))
+		bodies = append(bodies, strings.Join(lines[:n], "\n")+"\n")
+		lines = lines[n:]
+	}
+	return bodies
+}
+
+// referenceJSONL runs frames [from:to) of the trace through a direct
+// in-process session with a JSONL sink attached to the same query — the
+// ground truth the HTTP stream must reproduce byte for byte.
+func referenceJSONL(t *testing.T, tr *tvq.Trace, from, to int64) string {
+	t.Helper()
+	s, err := tvq.Open(context.Background(), tvq.WithRegistry(tvq.StandardRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var out bytes.Buffer
+	_, err = s.Subscribe(tvq.MustQuery(1, testQuery, 10, 5), tvq.WithSink(tvq.NewJSONLSink(&out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tr.Frames()[from:to] {
+		if _, err := s.ProcessFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.String()
+}
+
+func mustPost(t *testing.T, client *http.Client, url, contentType, body string, wantCode int) []byte {
+	t.Helper()
+	resp, err := client.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s = %d, want %d\nbody: %s", url, resp.StatusCode, wantCode, data)
+	}
+	return data
+}
+
+// TestServerEndToEnd is the tentpole acceptance test: a trace ingested
+// over HTTP must produce a JSONL match stream byte-identical to a
+// direct in-process session run of the same trace.
+func TestServerEndToEnd(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Create the default session with the query registered.
+	created := mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		fmt.Sprintf(`{"name":"default","queries":[{"id":1,"query":%q,"window":10,"duration":5}]}`, testQuery),
+		http.StatusCreated)
+	var cr struct {
+		Resumed bool  `json:"resumed"`
+		Queries []int `json:"queries"`
+	}
+	if err := json.Unmarshal(created, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Resumed || len(cr.Queries) != 1 || cr.Queries[0] != 1 {
+		t.Fatalf("create response: %s", created)
+	}
+
+	// Attach the JSONL stream before any frame is ingested.
+	streamReq, _ := http.NewRequest("GET", ts.URL+"/v1/queries/1/stream?format=jsonl&buffer=8192", nil)
+	streamResp, err := client.Do(streamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if streamResp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", streamResp.StatusCode)
+	}
+	if ct := streamResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	streamed := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(streamResp.Body)
+		streamed <- string(data)
+	}()
+
+	// Ingest the trace in uneven batches.
+	var lastIngest struct {
+		Accepted int   `json:"accepted"`
+		Matches  int   `json:"matches"`
+		NextFID  int64 `json:"next_fid"`
+	}
+	totalMatches := 0
+	for _, body := range traceJSONL(t, tr, 0, int64(tr.Len()), 17) {
+		data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+		if err := json.Unmarshal(data, &lastIngest); err != nil {
+			t.Fatal(err)
+		}
+		totalMatches += lastIngest.Matches
+	}
+	if lastIngest.NextFID != int64(tr.Len()) {
+		t.Errorf("final next_fid = %d, want %d", lastIngest.NextFID, tr.Len())
+	}
+	if totalMatches == 0 {
+		t.Fatal("ingest produced no matches; test is vacuous")
+	}
+
+	// Cancel the subscription: the fan-out sink closes and the stream
+	// response ends, letting the reader goroutine finish.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/queries/1", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unsubscribe status %d", resp.StatusCode)
+	}
+
+	var got string
+	select {
+	case got = <-streamed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never ended after unsubscribe")
+	}
+
+	want := referenceJSONL(t, tr, 0, int64(tr.Len()))
+	if got != want {
+		t.Errorf("HTTP match stream is not byte-identical to the in-process run\nhttp:   %d bytes, %d lines\ndirect: %d bytes, %d lines",
+			len(got), strings.Count(got, "\n"), len(want), strings.Count(want, "\n"))
+	}
+	if n := strings.Count(want, "\n"); n != totalMatches {
+		t.Errorf("ingest responses reported %d matches, reference has %d", totalMatches, n)
+	}
+
+	// Metrics reflect the run.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mdata)
+	for _, want := range []string{
+		fmt.Sprintf("tvq_frames_ingested_total %d", tr.Len()),
+		fmt.Sprintf("tvq_matches_emitted_total %d", totalMatches),
+		`tvq_generator_frames_total{window="10"} 100`,
+		"tvq_generator_process_seconds_total",
+		"tvq_streams_active 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q\n%s", want, metrics)
+		}
+	}
+
+	// Health.
+	hresp, err := client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdata, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hdata), `"status":"ok"`) {
+		t.Errorf("healthz: %d %s", hresp.StatusCode, hdata)
+	}
+}
+
+// TestServerSSEStream checks the SSE framing: ready first, then one
+// match event per delivery carrying the JSONL line, then an end event
+// with the drop count after cancellation.
+func TestServerSSEStream(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		fmt.Sprintf(`{"queries":[{"id":1,"query":%q,"window":10,"duration":5}]}`, testQuery),
+		http.StatusCreated)
+
+	resp, err := client.Get(ts.URL + "/v1/queries/1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type event struct{ name, data string }
+	events := make(chan event, 1024)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var ev event
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				ev.name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && ev.name != "":
+				events <- ev
+				ev = event{}
+			}
+		}
+	}()
+
+	read := func() event {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatal("no event")
+			panic("unreachable")
+		}
+	}
+	if ev := read(); ev.name != "ready" {
+		t.Fatalf("first event %q, want ready", ev.name)
+	}
+
+	for _, body := range traceJSONL(t, tr, 0, 40, 40) {
+		mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+	}
+	want := referenceJSONL(t, tr, 0, 40)
+	wantLines := strings.Split(strings.TrimSpace(want), "\n")
+	for i, wl := range wantLines {
+		ev := read()
+		if ev.name != "match" {
+			t.Fatalf("event %d is %q, want match", i, ev.name)
+		}
+		if ev.data != wl {
+			t.Fatalf("match %d data\ngot  %s\nwant %s", i, ev.data, wl)
+		}
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/queries/1", nil)
+	dresp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if ev := read(); ev.name != "end" || !strings.Contains(ev.data, `"dropped":0`) {
+		t.Fatalf("final event %q %q, want end with dropped count", ev.name, ev.data)
+	}
+}
+
+// TestServerIngestValidation covers the cursor discipline: a gap, a
+// replay and a non-default unknown session are all rejected cleanly.
+func TestServerIngestValidation(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	bodies := traceJSONL(t, tr, 0, 20, 10)
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", bodies[0], http.StatusOK)
+
+	// Replay of the same batch: 409.
+	data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", bodies[0], http.StatusConflict)
+	if !strings.Contains(string(data), "expects 10") {
+		t.Errorf("replay error lacks expected cursor: %s", data)
+	}
+	// Gap (skipping a batch): 409.
+	gap := traceJSONL(t, tr, 15, 20, 5)
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", gap[0], http.StatusConflict)
+	// Valid continuation still works.
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", bodies[1], http.StatusOK)
+
+	// Unknown named sessions are not auto-created.
+	resp, err := client.Post(ts.URL+"/v1/feeds/0/frames?session=ghost", "application/x-ndjson", strings.NewReader(bodies[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session ingest = %d, want 404", resp.StatusCode)
+	}
+
+	// Feeds other than 0 need a pooled session.
+	resp, err = client.Post(ts.URL+"/v1/feeds/3/frames", "application/x-ndjson", strings.NewReader(bodies[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("feed 3 on single-engine session = %d (%s), want 400", resp.StatusCode, body)
+	}
+
+	// Malformed frame JSON: 400.
+	resp, err = client.Post(ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", strings.NewReader("{not json}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed frame = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerBackpressure wedges the session's processing path behind a
+// blocking sink and verifies that the ingest queue valve answers 429
+// instead of queueing without bound.
+func TestServerBackpressure(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{MaxQueuedBatches: 1})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json", `{"name":"default"}`, http.StatusCreated)
+	sess, err := srv.Manager().Get("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	_, err = sess.Subscribe(tvq.MustQuery(9, "car >= 1", 1, 1),
+		tvq.WithSink(tvq.SinkFunc(func(tvq.Delivery) error {
+			once.Do(func() { close(blocked) })
+			<-release
+			return nil
+		})))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bodies := traceJSONL(t, tr, 0, 10, 5)
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", bodies[0], http.StatusOK)
+	}()
+	select {
+	case <-blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("first ingest never reached the sink")
+	}
+
+	// The first request still holds its queue slot, so with
+	// MaxQueuedBatches=1 the next request bounces.
+	resp, err := client.Post(ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", strings.NewReader(bodies[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queued-over-limit ingest = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(release)
+	<-firstDone
+	// After the valve opens the rejected batch goes through.
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", bodies[1], http.StatusOK)
+}
+
+// TestServerShutdownResume is the crash/restart round trip at the HTTP
+// layer: shutdown drains and checkpoints, a new server over the same
+// directory resumes the session (with its subscription), and the two
+// halves' streams concatenate to exactly the uninterrupted run.
+func TestServerShutdownResume(t *testing.T) {
+	tr := serverTrace(t)
+	dir := t.TempDir()
+	cut := int64(tr.Len() / 2)
+	cfg := Config{CheckpointDir: dir, CheckpointEvery: tvq.EveryFrames(5)}
+
+	collectStream := func(ts *httptest.Server, done func()) (func() string, *http.Response) {
+		req, _ := http.NewRequest("GET", ts.URL+"/v1/queries/1/stream?format=jsonl&buffer=8192", nil)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream status %d", resp.StatusCode)
+		}
+		ch := make(chan string, 1)
+		go func() {
+			data, _ := io.ReadAll(resp.Body)
+			ch <- string(data)
+			done()
+		}()
+		return func() string {
+			select {
+			case s := <-ch:
+				return s
+			case <-time.After(10 * time.Second):
+				t.Fatal("stream never ended")
+				panic("unreachable")
+			}
+		}, resp
+	}
+
+	// ---- First life: create, ingest half, shut down. ----
+	srv1 := New(cfg)
+	ts1 := httptest.NewServer(srv1.Handler())
+	client1 := ts1.Client()
+	created := mustPost(t, client1, ts1.URL+"/v1/sessions", "application/json",
+		fmt.Sprintf(`{"queries":[{"id":1,"query":%q,"window":10,"duration":5}]}`, testQuery),
+		http.StatusCreated)
+	if !strings.Contains(string(created), `"resumed":false`) {
+		t.Fatalf("first life resumed: %s", created)
+	}
+	wait1, resp1 := collectStream(ts1, func() {})
+	defer resp1.Body.Close()
+	for _, body := range traceJSONL(t, tr, 0, cut, 13) {
+		mustPost(t, client1, ts1.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+	}
+	if err := srv1.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	firstHalf := wait1() // closing the server ends the stream
+	ts1.Close()
+
+	// Requests after shutdown are refused, not hung.
+	// (The httptest server is closed; just verify the checkpoint file.)
+	ckpt := dir + "/default.tvqsnap"
+	if kind, err := func() (string, error) {
+		f, err := openFile(ckpt)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		return tvq.SnapshotKind(f)
+	}(); err != nil || kind != "session" {
+		t.Fatalf("final checkpoint: kind=%q err=%v", kind, err)
+	}
+
+	// ---- Second life: resume, ingest the rest. ----
+	srv2 := New(cfg)
+	defer srv2.Shutdown()
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	client2 := ts2.Client()
+
+	created = mustPost(t, client2, ts2.URL+"/v1/sessions", "application/json", `{"name":"default"}`, http.StatusCreated)
+	if !strings.Contains(string(created), `"resumed":true`) || !strings.Contains(string(created), "[1]") {
+		t.Fatalf("second life did not resume with the subscription: %s", created)
+	}
+	var listed []struct {
+		NextFID int64 `json:"next_fid"`
+	}
+	ldata, _ := io.ReadAll(must(client2.Get(ts2.URL + "/v1/sessions")).Body)
+	if err := json.Unmarshal(ldata, &listed); err != nil || len(listed) != 1 || listed[0].NextFID != cut {
+		t.Fatalf("resumed cursor: %s (err %v)", ldata, err)
+	}
+
+	wait2, resp2 := collectStream(ts2, func() {})
+	defer resp2.Body.Close()
+	for _, body := range traceJSONL(t, tr, cut, int64(tr.Len()), 13) {
+		mustPost(t, client2, ts2.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+	}
+	req, _ := http.NewRequest("DELETE", ts2.URL+"/v1/queries/1", nil)
+	dresp, err := client2.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	secondHalf := wait2()
+
+	want := referenceJSONL(t, tr, 0, int64(tr.Len()))
+	if got := firstHalf + secondHalf; got != want {
+		t.Errorf("resumed serving diverges from uninterrupted run\nfirst %d + second %d bytes, want %d",
+			len(firstHalf), len(secondHalf), len(want))
+	}
+	if firstHalf == "" || secondHalf == "" {
+		t.Error("one half of the stream is empty; test is vacuous")
+	}
+}
+
+func must(resp *http.Response, err error) *http.Response {
+	if err != nil {
+		panic(err)
+	}
+	return resp
+}
+
+func openFile(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// TestServerSubscribeAPI drives the standalone subscription endpoints:
+// register mid-stream over HTTP, collide on a duplicate id, reject a
+// malformed query, and stream the late query's matches.
+func TestServerSubscribeAPI(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Auto-created default session, no queries yet.
+	for _, body := range traceJSONL(t, tr, 0, 20, 20) {
+		mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+	}
+
+	data := mustPost(t, client, ts.URL+"/v1/queries", "application/json",
+		fmt.Sprintf(`{"query":%q,"window":10,"duration":5}`, testQuery), http.StatusCreated)
+	var created struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(data, &created); err != nil || created.ID != 1 {
+		t.Fatalf("subscribe response %s (err %v)", data, err)
+	}
+
+	// Duplicate id → 409; parse error → 400.
+	mustPost(t, client, ts.URL+"/v1/queries", "application/json",
+		`{"id":1,"query":"car >= 1","window":10,"duration":5}`, http.StatusConflict)
+	mustPost(t, client, ts.URL+"/v1/queries", "application/json",
+		`{"query":"car >> 1","window":10,"duration":5}`, http.StatusBadRequest)
+
+	// The late query matches from its registration on; stream and
+	// compare against a direct session fed the same suffix shape.
+	stream, err := client.Get(ts.URL + fmt.Sprintf("/v1/queries/%d/stream?format=jsonl&buffer=8192", created.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	got := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(stream.Body)
+		got <- string(data)
+	}()
+	for _, body := range traceJSONL(t, tr, 20, 60, 40) {
+		mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+fmt.Sprintf("/v1/queries/%d", created.ID), nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	streamed := <-got
+	if !strings.Contains(streamed, `"query":1`) || strings.Count(streamed, "\n") == 0 {
+		t.Errorf("late subscription streamed nothing useful: %q", streamed)
+	}
+	// Unsubscribing again is a 400 (unknown subscription).
+	req, _ = http.NewRequest("DELETE", ts.URL+fmt.Sprintf("/v1/queries/%d", created.ID), nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("double unsubscribe = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerGroupShardSingleFeed pins that group-sharded pooled
+// sessions (one logical feed partitioned by window groups) reject
+// non-zero feed ids just like single-engine sessions do, instead of
+// silently merging two cameras into one window stream.
+func TestServerGroupShardSingleFeed(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		fmt.Sprintf(`{"name":"grouped","workers":2,"shard":"group","queries":[{"query":%q,"window":10,"duration":5},{"query":"car >= 1","window":20,"duration":10}]}`, testQuery),
+		http.StatusCreated)
+	body := traceJSONL(t, tr, 0, 10, 10)[0]
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames?session=grouped", "application/x-ndjson", body, http.StatusOK)
+	mustPost(t, client, ts.URL+"/v1/feeds/1/frames?session=grouped", "application/x-ndjson", body, http.StatusBadRequest)
+}
+
+// TestServerFailedCreateLeavesNoCheckpoint pins the create-rollback
+// path: a session creation that fails on a bad query must not leave a
+// checkpoint behind, so the corrected retry starts fresh (resumed=false
+// and all queries registered); and an API delete likewise discards the
+// checkpoint instead of resurrecting state on re-create.
+func TestServerFailedCreateLeavesNoCheckpoint(t *testing.T) {
+	tr := serverTrace(t)
+	dir := t.TempDir()
+	srv := New(Config{CheckpointDir: dir, CheckpointEvery: tvq.EveryFrames(5)})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Second query is malformed: the create fails after the first
+	// subscribe succeeded.
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"x","queries":[{"query":"car >= 1","window":10,"duration":5},{"query":"car >> 1","window":10,"duration":5}]}`,
+		http.StatusBadRequest)
+	if _, err := os.Stat(dir + "/x.tvqsnap"); !os.IsNotExist(err) {
+		t.Fatalf("failed create left a checkpoint behind (stat err %v)", err)
+	}
+	// The corrected retry starts fresh with both queries.
+	data := mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"x","queries":[{"query":"car >= 1","window":10,"duration":5},{"query":"car >= 2","window":10,"duration":5}]}`,
+		http.StatusCreated)
+	if !strings.Contains(string(data), `"resumed":false`) || !strings.Contains(string(data), "[1,2]") {
+		t.Fatalf("retry after failed create: %s", data)
+	}
+
+	// Ingest so the session has state, delete it, re-create: fresh.
+	for _, body := range traceJSONL(t, tr, 0, 10, 10) {
+		mustPost(t, client, ts.URL+"/v1/feeds/0/frames?session=x", "application/x-ndjson", body, http.StatusOK)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/sessions/x", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete session = %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(dir + "/x.tvqsnap"); !os.IsNotExist(err) {
+		t.Fatalf("deleted session left a checkpoint behind (stat err %v)", err)
+	}
+	data = mustPost(t, client, ts.URL+"/v1/sessions", "application/json", `{"name":"x"}`, http.StatusCreated)
+	if !strings.Contains(string(data), `"resumed":false`) {
+		t.Fatalf("re-create after delete resumed stale state: %s", data)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"tvq/internal/objset"
@@ -113,6 +114,46 @@ func WriteJSONL(w io.Writer, t *Trace, reg *Registry) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// DecodeFrameJSON decodes one frame in the JSONL wire format —
+// {"fid":3,"objects":[{"id":1,"class":"car"}]} — into a Frame with its
+// own freshly-allocated object set and class map, registering unknown
+// class names in reg. This is the unit codec behind network ingest,
+// where frames arrive in batches on a live connection and a whole-trace
+// reader does not apply; ReadJSONL remains the bulk path. An empty or
+// absent objects list is a valid (empty) frame.
+func DecodeFrameJSON(data []byte, reg *Registry) (Frame, error) {
+	var jf jsonFrame
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return Frame{}, fmt.Errorf("vr: decode frame: %w", err)
+	}
+	if jf.FID < 0 {
+		return Frame{}, fmt.Errorf("vr: negative frame id %d", jf.FID)
+	}
+	f := Frame{FID: jf.FID}
+	if len(jf.Objects) == 0 {
+		return f, nil
+	}
+	ids := make([]objset.ID, 0, len(jf.Objects))
+	f.Classes = make(map[objset.ID]Class, len(jf.Objects))
+	for _, o := range jf.Objects {
+		if o.Class == "" {
+			return Frame{}, fmt.Errorf("vr: empty class name for object %d in frame %d", o.ID, jf.FID)
+		}
+		c := reg.Class(o.Class)
+		if prev, ok := f.Classes[o.ID]; ok {
+			if prev != c {
+				return Frame{}, fmt.Errorf("vr: object %d has classes %q and %q in frame %d", o.ID, reg.Name(prev), o.Class, jf.FID)
+			}
+			continue
+		}
+		f.Classes[o.ID] = c
+		ids = append(ids, o.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	f.Objects = objset.FromSorted(ids)
+	return f, nil
 }
 
 // ReadJSONL decodes a trace written by WriteJSONL.

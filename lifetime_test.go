@@ -1,0 +1,163 @@
+package tvq_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"tvq"
+	"tvq/internal/objset"
+)
+
+// Result-lifetime regression harness for the PR4 "results valid until
+// next call" contract at the public boundary: results returned by
+// Session.Process and deliveries handed to sinks must be fully detached
+// from engine internals — they stay intact while later frames are
+// processed — and the engine must be equally detached from the caller:
+// a producer may reuse its frame buffer for the next frame (the shape
+// of every network ingest loop) without corrupting past or future
+// results. Run under -race (CI does) this also exercises the pooled
+// merge path's happens-before edges with a concurrent consumer.
+func TestSessionResultLifetime(t *testing.T) {
+	tr := sessionTrace(t)
+	queries := []tvq.Query{
+		tvq.MustQuery(1, "car >= 1 AND person >= 2", 10, 5),
+		tvq.MustQuery(2, "person >= 3", 25, 10),
+	}
+
+	// Reference: immutable trace frames through a pristine session with
+	// the same three queries (the hostile runs subscribe q3 as well, and
+	// subscribed queries' matches appear in Process results too).
+	var want []string
+	ref, err := tvq.Open(context.Background(), tvq.WithQueries(queries...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Subscribe(tvq.MustQuery(3, "car >= 1", 8, 4)); err != nil {
+		t.Fatal(err)
+	}
+	results, err := ref.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		for _, m := range r.Matches {
+			want = append(want, shiftedKey(r.FID, m, 0))
+		}
+	}
+	ref.Close()
+	if len(want) == 0 {
+		t.Fatal("reference run matched nothing; harness is vacuous")
+	}
+
+	// Pristine run of the subscribed query alone, for the sink check.
+	sub, err := tvq.Open(context.Background(), tvq.WithQuery(tvq.MustQuery(3, "car >= 1", 8, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subRes, err := sub.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSub []string
+	for _, r := range subRes {
+		for _, m := range r.Matches {
+			wantSub = append(wantSub, shiftedKey(r.FID, m, 0))
+		}
+	}
+	sub.Close()
+	sort.Strings(wantSub)
+
+	for _, method := range []tvq.Method{tvq.MethodNaive, tvq.MethodMFS, tvq.MethodSSG} {
+		for _, kind := range sessionKinds {
+			t.Run(fmt.Sprintf("%s/%s", method, kind.name), func(t *testing.T) {
+				s, err := tvq.Open(context.Background(), append([]tvq.Option{
+					tvq.WithQueries(queries...), tvq.WithMethod(method)}, kind.opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+
+				// A consumer goroutine holds every delivery until the end of
+				// the run via a generously buffered ChanSink, rendering them
+				// only after the whole feed has churned the engines.
+				cs := tvq.NewChanSink(4096)
+				if _, err := s.Subscribe(tvq.MustQuery(3, "car >= 1", 8, 4), tvq.WithSink(cs)); err != nil {
+					t.Fatal(err)
+				}
+				heldDeliveries := make(chan []string, 1)
+				go func() {
+					var held []tvq.Delivery
+					for d := range cs.C() {
+						held = append(held, d)
+					}
+					var out []string
+					for _, d := range held {
+						out = append(out, shiftedKey(d.FID, d.Match, 0))
+					}
+					heldDeliveries <- out
+				}()
+
+				// The producer decodes every frame into ONE reusable buffer,
+				// hands the session a Frame aliasing it, and overwrites it
+				// immediately after Process returns.
+				buf := make([]uint32, 0, 64)
+				var gotLive []string               // rendered as results arrive
+				var heldResults [][]tvq.FeedResult // rendered after the run
+				for _, f := range tr.Frames() {
+					buf = f.Objects.AppendTo(buf[:0])
+					hostile := tvq.Frame{FID: f.FID, Objects: objset.FromSorted(buf), Classes: f.Classes}
+					res, err := s.Process([]tvq.FeedFrame{{Frame: hostile}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					heldResults = append(heldResults, res)
+					for _, r := range res {
+						for _, m := range r.Matches {
+							gotLive = append(gotLive, shiftedKey(r.FID, m, 0))
+						}
+					}
+					// Poison the shared buffer before the next frame reuses
+					// it: anything aliasing it is now visibly corrupt.
+					buf = buf[:cap(buf)]
+					for j := range buf {
+						buf[j] = 0xfeedface
+					}
+				}
+				s.Close() // closes the sink; the consumer finishes
+
+				var gotHeld []string
+				for _, res := range heldResults {
+					for _, r := range res {
+						for _, m := range r.Matches {
+							gotHeld = append(gotHeld, shiftedKey(r.FID, m, 0))
+						}
+					}
+				}
+				// Compare as sorted sets: pooled sessions may order different
+				// queries' matches within one frame differently from a single
+				// engine (documented); each key embeds its frame id, so the
+				// sort canonicalizes without losing the frame association.
+				liveSorted := append([]string(nil), gotLive...)
+				wantSorted := append([]string(nil), want...)
+				sort.Strings(liveSorted)
+				sort.Strings(wantSorted)
+				if fmt.Sprint(liveSorted) != fmt.Sprint(wantSorted) {
+					t.Errorf("live results diverge from pristine run (%d vs %d matches): the engine retained the caller's frame buffer",
+						len(gotLive), len(want))
+				}
+				if fmt.Sprint(gotHeld) != fmt.Sprint(gotLive) {
+					t.Errorf("held results changed after later frames were processed: results alias engine state")
+				}
+
+				delivered := <-heldDeliveries
+				sort.Strings(delivered)
+				if fmt.Sprint(delivered) != fmt.Sprint(wantSub) {
+					t.Errorf("held sink deliveries diverge (%d vs %d): deliveries alias engine state",
+						len(delivered), len(wantSub))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package tvq
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SessionManager serves many named, independently configured sessions
+// from one process — the multi-tenant backbone of the tvqd daemon. Each
+// tenant (camera bank, customer, experiment) gets its own Session under
+// a unique name, with options layered as manager defaults first, then
+// per-session options.
+//
+// When a checkpoint directory is configured, every session checkpoints
+// to <dir>/<name>.tvqsnap on the manager's cadence and once more when
+// it closes; a later Open of the same name finds the file and resumes
+// the session from it instead of starting fresh — the crash/restart
+// story of a long-running daemon.
+//
+// A SessionManager is safe for concurrent use. The Sessions it hands
+// out keep their own contract: frame-processing calls on one session
+// must come from one goroutine at a time.
+type SessionManager struct {
+	defaults []Option
+	ckDir    string
+	ckEvery  Cadence
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+}
+
+// ManagerOption configures a SessionManager.
+type ManagerOption func(*SessionManager)
+
+// WithManagerDefaults prepends opts to every session the manager opens.
+// Per-session options given to Open are applied after these, so they
+// win where both set the same knob. Avoid WithQueries here when a
+// checkpoint directory is configured: resumed sessions take their query
+// set from the snapshot and reject query options.
+func WithManagerDefaults(opts ...Option) ManagerOption {
+	return func(m *SessionManager) { m.defaults = append(m.defaults, opts...) }
+}
+
+// WithCheckpointDir makes every session checkpoint to
+// <dir>/<name>.tvqsnap on the given cadence (and once on close), and
+// makes Open resume from that file when it exists. The directory is
+// created on first use.
+func WithCheckpointDir(dir string, every Cadence) ManagerOption {
+	return func(m *SessionManager) { m.ckDir, m.ckEvery = dir, every }
+}
+
+// NewSessionManager builds an empty manager.
+func NewSessionManager(opts ...ManagerOption) *SessionManager {
+	m := &SessionManager{sessions: make(map[string]*Session)}
+	for _, o := range opts {
+		if o != nil {
+			o(m)
+		}
+	}
+	return m
+}
+
+// validSessionName keeps names usable as file names (checkpoints) and
+// URL path segments: 1-64 characters from [A-Za-z0-9._-], not starting
+// with a dot or dash.
+func validSessionName(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("tvq: session name %q must be 1-64 characters", name)
+	}
+	for i, r := range name {
+		ok := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '.' || r == '-' || r == '_'
+		if !ok {
+			return fmt.Errorf("tvq: session name %q contains %q; use letters, digits, '.', '_', '-'", name, r)
+		}
+		if i == 0 && (r == '.' || r == '-') {
+			return fmt.Errorf("tvq: session name %q must not start with %q", name, r)
+		}
+	}
+	return nil
+}
+
+// CheckpointPath returns the checkpoint file a session of this name
+// uses, or "" when the manager has no checkpoint directory.
+func (m *SessionManager) CheckpointPath(name string) string {
+	if m.ckDir == "" {
+		return ""
+	}
+	return filepath.Join(m.ckDir, name+".tvqsnap")
+}
+
+// Open creates (or resumes) the named session. Options are the
+// manager's defaults followed by opts. With a checkpoint directory
+// configured, an existing <dir>/<name>.tvqsnap resumes the session from
+// that state — resumed reports which path was taken, and the restored
+// query set comes from the snapshot (query options are rejected by
+// Resume). Opening a name that is already serving fails with
+// ErrSessionExists.
+func (m *SessionManager) Open(ctx context.Context, name string, opts ...Option) (s *Session, resumed bool, err error) {
+	if err := validSessionName(name); err != nil {
+		return nil, false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrSessionClosed
+	}
+	if _, ok := m.sessions[name]; ok {
+		return nil, false, fmt.Errorf("tvq: session %q: %w", name, ErrSessionExists)
+	}
+
+	all := make([]Option, 0, len(m.defaults)+len(opts)+1)
+	all = append(all, m.defaults...)
+	all = append(all, opts...)
+	if path := m.CheckpointPath(name); path != "" {
+		if err := os.MkdirAll(m.ckDir, 0o755); err != nil {
+			return nil, false, fmt.Errorf("tvq: checkpoint dir: %w", err)
+		}
+		all = append(all, WithCheckpoint(path, m.ckEvery))
+		if f, err := os.Open(path); err == nil {
+			defer f.Close()
+			s, err := Resume(ctx, f, all...)
+			if err != nil {
+				return nil, false, fmt.Errorf("tvq: resume session %q from %s: %w", name, path, err)
+			}
+			m.sessions[name] = s
+			return s, true, nil
+		} else if !os.IsNotExist(err) {
+			return nil, false, fmt.Errorf("tvq: checkpoint for session %q: %w", name, err)
+		}
+	}
+	s, err = Open(ctx, all...)
+	if err != nil {
+		return nil, false, err
+	}
+	m.sessions[name] = s
+	return s, false, nil
+}
+
+// Get returns the named session, or ErrUnknownSession.
+func (m *SessionManager) Get(name string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("tvq: session %q: %w", name, ErrUnknownSession)
+	}
+	return s, nil
+}
+
+// Names lists the open sessions in lexical order.
+func (m *SessionManager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for name := range m.sessions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close closes the named session (writing its final checkpoint when one
+// is configured) and removes it from the manager.
+func (m *SessionManager) Close(name string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[name]
+	delete(m.sessions, name)
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("tvq: session %q: %w", name, ErrUnknownSession)
+	}
+	return s.Close()
+}
+
+// CloseAll closes every session (each writing its final checkpoint) and
+// marks the manager closed; further Opens fail with ErrSessionClosed.
+// It returns the first close error, after attempting all of them.
+func (m *SessionManager) CloseAll() error {
+	m.mu.Lock()
+	m.closed = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	names := make([]string, 0, len(m.sessions))
+	for name, s := range m.sessions {
+		names = append(names, name)
+		sessions = append(sessions, s)
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+
+	var first error
+	for i, s := range sessions {
+		if err := s.Close(); err != nil && first == nil {
+			first = fmt.Errorf("tvq: close session %q: %w", names[i], err)
+		}
+	}
+	return first
+}

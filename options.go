@@ -161,6 +161,20 @@ func WithCheckpoint(path string, every Cadence) Option {
 	}
 }
 
+// WithObserver installs a per-window-group instrumentation hook: f
+// receives one ProcessStat for every window group on every processed
+// frame — generator latency, result-state count, match count. The hook
+// runs inline on the processing path (on worker goroutines for a pooled
+// session), so it must be cheap and safe for concurrent use; the tvqd
+// daemon's /metrics endpoint is built on it. Observers are not recorded
+// in snapshots; pass the option again at Resume.
+func WithObserver(f func(ProcessStat)) Option {
+	return func(c *config) error {
+		c.eng.Observe = f
+		return nil
+	}
+}
+
 // WithSubscriptionSinks supplies, at Resume time, the sink for each
 // restored subscription: f is called once per subscription recorded in
 // the snapshot with its query, and the returned sink (nil for none)

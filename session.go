@@ -358,21 +358,35 @@ func (sub *Subscription) Query() Query { return sub.q }
 func (sub *Subscription) ID() int { return sub.q.ID }
 
 // Cancel detaches the subscription: deliveries to its sink stop
-// immediately, the query stops being evaluated before the next
-// processed frame, and the sink's channel (if any) is closed at that
-// point. Cancel is safe to call from a sink consumer goroutine and is
-// idempotent. Cancellation is always sound, including under pruning.
+// immediately, the sink's channel (if any) is closed promptly — a
+// consumer ranging over a ChanSink unblocks without waiting for the
+// session to process another frame — and the query stops being
+// evaluated before the next processed frame. Cancel is safe to call
+// from a sink consumer goroutine, even while a delivery to this very
+// sink is blocked on a full channel (the delivery is dropped, not
+// deadlocked), and is idempotent. Cancellation is always sound,
+// including under pruning.
 func (sub *Subscription) Cancel() error {
 	s := sub.s
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if sub.cancelled || s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	sub.cancelled = true
 	close(sub.done)
 	delete(s.subs, sub.q.ID)
 	s.pending = append(s.pending, sub)
+	sink := sub.sink
+	s.mu.Unlock()
+	// Close the sink outside s.mu: ChanSink.closeSink may hand the close
+	// to a Deliver currently parked on the full channel, and that
+	// Deliver's caller (deliverLocked) takes s.mu between matches.
+	// sub.done is already closed, so a parked Deliver cannot stay
+	// parked. applyPendingLocked's later closeSink is a no-op.
+	if b, ok := sink.(sessionBound); ok {
+		b.closeSink()
+	}
 	return nil
 }
 
@@ -486,6 +500,7 @@ func Resume(ctx context.Context, r io.Reader, opts ...Option) (*Session, error) 
 		eng, err := engine.Restore(bytes.NewReader(procData), engine.Options{
 			Method:   cfg.eng.Method,
 			Registry: cfg.eng.Registry,
+			Observe:  cfg.eng.Observe,
 		})
 		if err != nil {
 			return nil, err
@@ -495,6 +510,7 @@ func Resume(ctx context.Context, r io.Reader, opts ...Option) (*Session, error) 
 		popts := engine.PoolOptions{Engine: engine.Options{
 			Method:   cfg.eng.Method,
 			Registry: cfg.eng.Registry,
+			Observe:  cfg.eng.Observe,
 		}}
 		if cfg.workersSet {
 			popts.Workers = cfg.workers
@@ -680,6 +696,13 @@ func (s *Session) Workers() int {
 
 // Pooled reports whether the session runs a parallel pool.
 func (s *Session) Pooled() bool { return s.pool != nil }
+
+// MultiFeed reports whether the session accepts frames of feeds other
+// than 0 — true only for pooled ShardByFeed sessions. Single-engine and
+// group-sharded pooled sessions serve exactly one feed.
+func (s *Session) MultiFeed() bool {
+	return s.pool != nil && s.pool.Mode() == ShardByFeed
+}
 
 // StateCount reports live MCOS states across all shards, for
 // instrumentation.

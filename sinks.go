@@ -41,10 +41,12 @@ type sessionBound interface {
 // ChanSink delivers matches on a channel. Deliver blocks while the
 // buffer is full — backpressure, not loss — until the subscription is
 // cancelled or the session closes, at which point pending deliveries
-// are dropped. The channel is closed when the subscription ends, so
-// consumers can simply range over C. Consume from a different goroutine
-// than the one driving the session, or make the buffer large enough for
-// a batch, or Process will block forever waiting for a reader.
+// are dropped. The channel is closed promptly when the subscription
+// ends (Cancel or session Close), so consumers can simply range over C;
+// buffered deliveries are still drained by the range before it ends.
+// Consume from a different goroutine than the one driving the session,
+// or make the buffer large enough for a batch, or Process will block
+// forever waiting for a reader.
 //
 // A ChanSink belongs to exactly one subscription: its channel closes
 // with that subscription, so unlike a SinkFunc or JSONLSink it cannot
@@ -53,8 +55,11 @@ type ChanSink struct {
 	ch      chan Delivery
 	subDone <-chan struct{}
 	sesDone <-chan struct{}
-	mu      sync.Mutex
-	closed  bool
+
+	mu       sync.Mutex
+	closed   bool // no further Deliver may start
+	chClosed bool // ch itself has been closed
+	inflight int  // Delivers currently parked in the select
 }
 
 // NewChanSink builds a channel sink with the given buffer capacity.
@@ -71,27 +76,39 @@ func (c *ChanSink) C() <-chan Delivery { return c.ch }
 
 // Deliver sends d, blocking while the buffer is full.
 func (c *ChanSink) Deliver(d Delivery) error {
-	// The closed check and the send are not one atomic step, but they
-	// do not need to be: within a session, Deliver and closeSink are
-	// both serialized by the session's processing lock. The flag turns
-	// misuse (a sink reattached after its subscription ended) into
-	// dropped deliveries instead of a send-on-closed-channel panic.
 	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed {
+		// Turns misuse (a sink reattached after its subscription ended)
+		// into dropped deliveries instead of a send-on-closed panic.
+		c.mu.Unlock()
 		return nil
 	}
 	if c.subDone == nil {
 		// Unbound (used outside a session): plain blocking send.
+		c.mu.Unlock()
 		c.ch <- d
 		return nil
 	}
+	// Register as in flight before parking in the select: closeSink may
+	// run concurrently (Subscription.Cancel closes the sink from the
+	// consumer's goroutine while this Deliver is blocked on a full
+	// buffer) and must not close ch under a pending send. It defers the
+	// close to this goroutine instead; the cancel path has already
+	// closed subDone, so the select cannot stay parked.
+	c.inflight++
+	c.mu.Unlock()
 	select {
 	case c.ch <- d:
 	case <-c.subDone:
 	case <-c.sesDone:
 	}
+	c.mu.Lock()
+	c.inflight--
+	if c.closed && c.inflight == 0 && !c.chClosed {
+		c.chClosed = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -99,11 +116,16 @@ func (c *ChanSink) bind(subDone, sessionDone <-chan struct{}) {
 	c.subDone, c.sesDone = subDone, sessionDone
 }
 
+// closeSink ends delivery and closes the channel — immediately when no
+// Deliver is parked in its select, otherwise as soon as the last parked
+// Deliver returns (its subDone/sesDone case is already unblocked by the
+// time closeSink is called). Idempotent and safe from any goroutine.
 func (c *ChanSink) closeSink() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
+	c.closed = true
+	if c.inflight == 0 && !c.chClosed {
+		c.chClosed = true
 		close(c.ch)
 	}
 }

@@ -105,6 +105,9 @@ type (
 	FeedFrame = engine.FeedFrame
 	// FeedResult is one matching frame of a Pool run, in ingestion order.
 	FeedResult = engine.FeedResult
+	// ProcessStat is one window group's share of one processed frame,
+	// delivered to WithObserver hooks.
+	ProcessStat = engine.ProcessStat
 	// PoolOptions configures a parallel Pool.
 	PoolOptions = engine.PoolOptions
 	// ShardMode selects how a Pool distributes work across engines.
