@@ -7,13 +7,18 @@
 package tvq_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"tvq"
 	"tvq/internal/bench"
 	"tvq/internal/core"
 	"tvq/internal/engine"
+	"tvq/internal/server"
 	"tvq/internal/video"
 	"tvq/internal/vr"
 )
@@ -236,6 +241,65 @@ func BenchmarkFigure10(b *testing.B) {
 				for _, f := range ds.Trace.Frames() {
 					eng.ProcessFrame(f)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkDaemonIngest measures the tvqd wire path per codec: frames
+// pre-encoded into batches are POSTed to an in-process serving stack,
+// so the benchmark covers HTTP dispatch, frame decode, and the engine's
+// retain path (ownership transfer for binary, clone-on-retain for
+// JSONL). bytes/op is wire bytes ingested.
+func BenchmarkDaemonIngest(b *testing.B) {
+	ds := loadBenchDataset(b, "M2")
+	for _, codec := range []tvq.Codec{tvq.JSONLCodec, tvq.BinaryCodec} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			batches, wireBytes, err := bench.EncodeBatches(ds.Trace, codec, ds.Reg, bench.IngestBatchFrames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := server.New(server.Config{
+				Registry:       vr.NewRegistry(ds.Reg.Names()...),
+				MaxBatchFrames: bench.IngestBatchFrames,
+			})
+			ts := httptest.NewServer(srv.Handler())
+			defer func() { ts.Close(); srv.Shutdown() }()
+
+			post := func(url, ct string, body []byte) {
+				resp, err := http.Post(url, ct, bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+				resp.Body.Close()
+				if resp.StatusCode >= 300 {
+					b.Fatalf("POST %s: %d %s", url, resp.StatusCode, msg)
+				}
+			}
+			b.SetBytes(wireBytes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Each iteration ingests into a fresh session — the feed
+				// cursor only moves forward, so frames cannot be replayed
+				// into an existing one.
+				name := fmt.Sprintf("bench-%s-%d", codec.Name(), i)
+				post(ts.URL+"/v1/sessions", "application/json",
+					[]byte(fmt.Sprintf(`{"name":%q,"queries":[{"id":1,"query":"bus >= 4","window":%d,"duration":%d}]}`,
+						name, scaled(bench.DefaultWindow), scaled(bench.DefaultDuration))))
+				for _, batch := range batches {
+					post(ts.URL+"/v1/feeds/0/frames?session="+name, codec.ContentType(), batch)
+				}
+				// Drop the session so iterations don't pile up live engines.
+				req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+name, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
 			}
 		})
 	}

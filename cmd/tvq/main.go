@@ -9,11 +9,21 @@
 //	tvq -q "person >= 2 @ 600:450" -q "car >= 1" -w 300 -d 240 -workers 2 trace.csv
 //	tvq -q "car >= 1" -checkpoint run.tvqsnap -every 500 trace.csv
 //	tvq -resume run.tvqsnap trace.csv
+//	tvqgen -format binary | tvq -q "person >= 2" -w 300 -d 240 -stream -format binary -
 //
 // Each -q flag adds one query. A query uses the shared -w/-d parameters
 // unless it carries its own "@ window:duration" suffix, as in
 // "person >= 2 @ 600:450". The trace format is inferred from the file
-// extension; stdin defaults to CSV unless -format jsonl is given.
+// extension (.csv, .jsonl, .tvqf for the binary wire format); stdin
+// defaults to CSV unless -format csv|jsonl|binary is given.
+//
+// By default the whole trace is loaded before processing. With -stream
+// the trace is decoded frame by frame through the codec's streaming
+// reader and fed straight into the session, so arbitrarily long JSONL
+// or binary inputs — including live pipes — process in constant
+// memory. (CSV is not streamable: its rows are not frame-ordered.)
+// Binary input additionally takes the engine's ownership-transfer fast
+// path: decoded frames arrive owned and are retained without a clone.
 //
 // The command is a thin shell over the v2 Session API: it opens one
 // tvq.Session with functional options and streams the trace through it.
@@ -41,6 +51,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"slices"
 	"strconv"
@@ -62,6 +73,7 @@ type config struct {
 	methodSet  bool
 	prune      bool
 	format     string
+	stream     bool
 	quiet      bool
 	workers    int
 	workersSet bool
@@ -78,7 +90,8 @@ func main() {
 		duration   = flag.Int("d", 240, "duration threshold in frames")
 		method     = flag.String("method", "ssg", "state maintenance: naive, mfs or ssg")
 		prune      = flag.Bool("prune", false, "enable result-driven pruning (>=-only query sets)")
-		format     = flag.String("format", "", "trace format: csv or jsonl (default: from extension)")
+		format     = flag.String("format", "", "trace format: csv, jsonl or binary (default: from extension)")
+		stream     = flag.Bool("stream", false, "decode the trace frame by frame (jsonl or binary) instead of loading it into memory")
 		quiet      = flag.Bool("quiet", false, "print only the match count")
 		workers    = flag.Int("workers", 1, "engine shards; above 1 runs a pooled session over the window groups")
 		checkpoint = flag.String("checkpoint", "", "snapshot session state to this path periodically (see -every)")
@@ -95,6 +108,7 @@ func main() {
 		method:     *method,
 		prune:      *prune,
 		format:     *format,
+		stream:     *stream,
 		quiet:      *quiet,
 		workers:    *workers,
 		checkpoint: *checkpoint,
@@ -125,11 +139,6 @@ func run(cfg config) error {
 		return fmt.Errorf("no trace path; pass a file or - for stdin")
 	}
 
-	trace, err := readTrace(cfg)
-	if err != nil {
-		return err
-	}
-
 	sess, err := openSession(cfg)
 	if err != nil {
 		return err
@@ -142,22 +151,69 @@ func run(cfg config) error {
 	}()
 
 	start := sess.NextFID(0)
-	if start > int64(trace.Len()) {
-		return fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
-	}
 	if start > 0 {
 		fmt.Fprintf(os.Stderr, "tvq: resumed at frame %d (%d frames already processed)\n", start, start)
 	}
 
+	// Assemble the frame source: streamed through the codec's per-frame
+	// reader with -stream, or a materialized trace otherwise. frames
+	// counts what the session actually processes; srcErr captures a
+	// mid-stream decode failure.
+	var (
+		src    iter.Seq[tvq.Frame]
+		frames int
+		srcErr error
+	)
+	if cfg.stream {
+		codec, ok := tvq.CodecByName(traceFormat(cfg))
+		if !ok {
+			return fmt.Errorf("-stream needs a jsonl or binary trace, not %q", traceFormat(cfg))
+		}
+		in, closeIn, err := openInput(cfg)
+		if err != nil {
+			return err
+		}
+		defer closeIn()
+		decoded := tvq.DecodeFrames(in, codec, tvq.StandardRegistry())
+		src = func(yield func(tvq.Frame) bool) {
+			for f, err := range decoded {
+				if err != nil {
+					srcErr = err
+					return
+				}
+				if f.FID < start { // already processed before the resume
+					continue
+				}
+				frames++
+				if !yield(f) {
+					return
+				}
+			}
+		}
+	} else {
+		trace, err := readTrace(cfg)
+		if err != nil {
+			return err
+		}
+		if start > int64(trace.Len()) {
+			return fmt.Errorf("snapshot has processed %d frames but the trace has only %d", start, trace.Len())
+		}
+		frames = trace.Len() - int(start)
+		src = slices.Values(trace.Frames()[start:])
+	}
+
 	ctx := context.Background()
 	total := 0
-	for f, ms := range sess.Stream(ctx, slices.Values(trace.Frames()[start:])) {
+	for f, ms := range sess.Stream(ctx, src) {
 		for _, m := range ms {
 			total++
 			if !cfg.quiet {
 				fmt.Printf("frame %d: %s\n", f.FID, tvq.FormatMatch(m))
 			}
 		}
+	}
+	if srcErr != nil {
+		return srcErr
 	}
 	if err := sess.Err(); err != nil {
 		return err
@@ -169,7 +225,7 @@ func run(cfg config) error {
 		return err
 	}
 	fmt.Printf("%d matches over %d frames (%d queries, method=%s)\n",
-		total, trace.Len()-int(start), nqueries, method)
+		total, frames, nqueries, method)
 	return nil
 }
 
@@ -242,38 +298,50 @@ func parseQueries(cfg config) ([]tvq.Query, error) {
 	return qs, nil
 }
 
-func readTrace(cfg config) (*tvq.Trace, error) {
-	var in io.Reader
-	format := cfg.format
-	if cfg.path == "-" {
-		in = os.Stdin
-	} else {
-		f, err := os.Open(cfg.path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		in = f
-		if format == "" {
-			if strings.HasSuffix(cfg.path, ".jsonl") {
-				format = "jsonl"
-			} else {
-				format = "csv"
-			}
-		}
+// traceFormat resolves the effective trace format: an explicit -format
+// wins, then the file extension, then CSV.
+func traceFormat(cfg config) string {
+	if cfg.format != "" {
+		return cfg.format
 	}
-	if format == "" {
-		format = "csv"
-	}
-	reg := tvq.StandardRegistry()
-	switch format {
-	case "csv":
-		return tvq.ReadTraceCSV(in, reg)
-	case "jsonl":
-		return tvq.ReadTraceJSONL(in, reg)
+	switch {
+	case strings.HasSuffix(cfg.path, ".jsonl"):
+		return "jsonl"
+	case strings.HasSuffix(cfg.path, ".tvqf"):
+		return "binary"
 	default:
-		return nil, fmt.Errorf("unknown format %q", format)
+		return "csv"
 	}
+}
+
+// openInput opens the trace path (or stdin for "-") for reading.
+func openInput(cfg config) (io.Reader, func() error, error) {
+	if cfg.path == "-" {
+		return os.Stdin, func() error { return nil }, nil
+	}
+	f, err := os.Open(cfg.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+func readTrace(cfg config) (*tvq.Trace, error) {
+	in, closeIn, err := openInput(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer closeIn()
+	reg := tvq.StandardRegistry()
+	format := traceFormat(cfg)
+	if format == "csv" {
+		return tvq.ReadTraceCSV(in, reg)
+	}
+	codec, ok := tvq.CodecByName(format)
+	if !ok {
+		return nil, fmt.Errorf("unknown format %q (want csv, jsonl or binary)", format)
+	}
+	return codec.ReadTrace(in, reg)
 }
 
 // splitWindowSuffix strips an optional "@ w:d" suffix from a -q

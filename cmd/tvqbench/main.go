@@ -18,11 +18,13 @@
 //
 // With -json DIR the text experiments are replaced (combining -json
 // with -exp, -workers or -feeds is an error): each selected dataset is
-// measured once per method on the standard multi-query workload and the
-// results are written to DIR/BENCH_<dataset>.json as machine-readable
-// records (method, window, frames/sec, allocations and bytes per
-// frame), so the performance trajectory can be tracked across commits;
-// EXPERIMENTS.md summarizes the committed records.
+// measured once per method on the standard multi-query workload, plus
+// once per wire codec through the tvqd ingest path (method "INGEST":
+// HTTP dispatch + frame decode + engine retain, with wire bytes per
+// frame), and the results are written to DIR/BENCH_<dataset>.json as
+// machine-readable records (method, window, frames/sec, allocations
+// and bytes per frame), so the performance trajectory can be tracked
+// across commits; EXPERIMENTS.md summarizes the committed records.
 package main
 
 import (
@@ -87,6 +89,11 @@ func runJSON(cfg bench.Config, dir string, subset []string) error {
 		if err != nil {
 			return err
 		}
+		ingest, err := cfg.MeasureIngest(name)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, ingest...)
 		path, err := bench.WritePerfJSON(dir, name, entries)
 		if err != nil {
 			return err

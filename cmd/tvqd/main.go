@@ -22,11 +22,17 @@
 //	curl -N localhost:7800/v1/queries/1/stream
 //	curl -X POST localhost:7800/v1/feeds/0/frames --data-binary @frames.jsonl
 //
-// Ingest bodies are JSON Lines in the trace codec's frame format —
-// {"fid":0,"objects":[{"id":1,"class":"car"}]} — so `tvqgen` output and
-// WriteTraceJSONL files POST directly. Frames of a feed must arrive in
-// order; a gap or replay is answered 409 with the expected frame id,
-// and ingest bursts beyond -max-queue waiting batches are answered 429
+// Ingest bodies are decoded per their Content-Type. The default (no
+// type, or curl's form-encoded default) is JSON Lines in the trace
+// codec's frame format — {"fid":0,"objects":[{"id":1,"class":"car"}]}
+// — so `tvqgen` output and WriteTraceJSONL files POST directly. The
+// binary wire format (Content-Type: application/x-tvq-frames, see the
+// README's wire-protocol section and the tvqclient package) carries
+// the same frames in a fraction of the bytes, and its decoded frames
+// skip the engine's clone-on-retain. Any other Content-Type is
+// answered 415. Frames of a feed must arrive in order; a gap or replay
+// is answered 409 with the expected frame id in next_fid, and ingest
+// bursts beyond -max-queue waiting batches are answered 429
 // (backpressure, not loss).
 //
 // With -checkpoint-dir every session snapshots to <dir>/<name>.tvqsnap

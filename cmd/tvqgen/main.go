@@ -6,6 +6,7 @@
 //
 //	tvqgen -dataset D2 -seed 7 -o d2.csv
 //	tvqgen -dataset M1 -po 2 -miss 0.05 -format jsonl -o m1.jsonl
+//	tvqgen -dataset M1 -format binary -o m1.tvqf   # binary wire format
 //	tvqgen -frames 2000 -objects 150 -fpo 60 -opo 4 -o custom.csv
 //	tvqgen -dataset V1 -stats            # print Table 6 statistics only
 package main
@@ -31,7 +32,7 @@ func main() {
 		miss    = flag.Float64("miss", 0, "tracker noise: per-object-frame detection miss probability")
 		swtch   = flag.Float64("switch", 0, "tracker noise: per-object-frame identity switch probability")
 		fp      = flag.Float64("fp", 0, "tracker noise: expected false positives per frame")
-		format  = flag.String("format", "csv", "output format: csv or jsonl")
+		format  = flag.String("format", "csv", "output format: csv, jsonl or binary")
 		out     = flag.String("o", "-", "output path; - for stdout")
 		stats   = flag.Bool("stats", false, "print dataset statistics instead of the trace")
 	)
@@ -92,12 +93,11 @@ func run(dataset string, frames, objects int, fpo, opo float64, moving bool,
 		defer f.Close()
 		w = f
 	}
-	switch format {
-	case "csv":
+	if format == "csv" {
 		return tvq.WriteTraceCSV(w, trace, reg)
-	case "jsonl":
-		return tvq.WriteTraceJSONL(w, trace, reg)
-	default:
-		return fmt.Errorf("unknown format %q (want csv or jsonl)", format)
 	}
+	if codec, ok := tvq.CodecByName(format); ok {
+		return codec.WriteTrace(w, trace, reg)
+	}
+	return fmt.Errorf("unknown format %q (want csv, jsonl or binary)", format)
 }

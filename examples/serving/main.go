@@ -1,17 +1,17 @@
-// Serving: run the tvqd serving stack in-process — HTTP ingest, an SSE
+// Serving: run the tvqd serving stack in-process and drive it with the
+// tvqclient package — session creation, binary-wire ingest, a live
 // match stream, metrics, and a graceful checkpointed shutdown with
 // resume — the networked face of the Session API.
 //
 //	go run ./examples/serving
 //
-// (Production deployments run `cmd/tvqd` as a standalone daemon; this
-// example embeds the same server so it is self-contained.)
+// (Production deployments run `cmd/tvqd` as a standalone daemon and
+// link tvqclient into their producers and consumers; this example
+// embeds the same server so it is self-contained.)
 package main
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -20,12 +20,15 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"tvq"
 	"tvq/internal/server"
+	"tvq/tvqclient"
 )
 
 func main() {
+	ctx := context.Background()
 	reg := tvq.StandardRegistry()
 	ckDir := filepath.Join(os.TempDir(), "tvqd-example")
 	defer os.RemoveAll(ckDir)
@@ -38,30 +41,37 @@ func main() {
 	})
 	base, stop := listen(srv)
 
+	// The client ingests over the binary wire format by default; add
+	// tvqclient.WithCodec(tvq.JSONLCodec) to watch the bytes instead.
+	client := tvqclient.New(base, tvqclient.WithRegistry(reg), tvqclient.WithStreamBuffer(4096))
+
 	// Create the default session with one query: at least two people
 	// jointly visible for 1 of the last 4 seconds (30 fps).
-	post(base+"/v1/sessions",
-		`{"queries":[{"id":1,"query":"person >= 2","window":120,"duration":30}]}`)
-	fmt.Println("session created with query 1")
-
-	// Subscribe to the live match stream (SSE) before ingesting.
-	events := make(chan string, 1024)
-	sse, err := http.Get(base + "/v1/queries/1/stream")
-	if err != nil {
+	if _, err := client.CreateSession(ctx, "", tvqclient.SessionParams{
+		Queries: []tvqclient.QueryParams{{ID: 1, Query: "person >= 2", Window: 120, Duration: 30}},
+	}); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("session created with query 1")
+
+	// Subscribe to the live match stream before ingesting; deliveries
+	// arrive as typed tvq.Delivery values, not raw SSE lines.
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	deliveries := make(chan tvq.Delivery, 1024)
 	go func() {
-		defer close(events)
-		sc := bufio.NewScanner(sse.Body)
-		for sc.Scan() {
-			if line := sc.Text(); strings.HasPrefix(line, "data: ") {
-				events <- strings.TrimPrefix(line, "data: ")
+		defer close(deliveries)
+		for d, err := range client.Stream(streamCtx, 1) {
+			if err != nil {
+				log.Fatal(err)
 			}
+			deliveries <- d
 		}
 	}()
-	fmt.Println("stream attached:", <-events) // the ready event
+	waitForStream(base)
+	fmt.Println("stream attached")
 
-	// --- Ingest a synthetic feed over HTTP, in JSONL batches. ---
+	// --- Ingest a synthetic feed over HTTP, in binary batches. ---
 	profile, _ := tvq.DatasetByName("M1") // pedestrian-heavy MOT16-06 shape
 	profile.Frames = 600
 	profile.Objects = 120
@@ -69,41 +79,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var jsonl bytes.Buffer
-	if err := tvq.WriteTraceJSONL(&jsonl, trace, reg); err != nil {
+	res, err := client.IngestTrace(ctx, 0, trace)
+	if err != nil {
 		log.Fatal(err)
 	}
-	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
-	matches := 0
-	for start := 0; start < len(lines); start += 120 {
-		end := min(start+120, len(lines))
-		resp := post(base+"/v1/feeds/0/frames", strings.Join(lines[start:end], "\n"))
-		var r struct {
-			Accepted int   `json:"accepted"`
-			Matches  int   `json:"matches"`
-			NextFID  int64 `json:"next_fid"`
-		}
-		decode(resp, &r)
-		matches += r.Matches
-		fmt.Printf("ingested %3d frames (cursor %3d): %d matches so far\n", r.Accepted, r.NextFID, matches)
-	}
+	fmt.Printf("ingested %d frames (cursor %d): %d matches\n", res.Accepted, res.NextFID, res.Matches)
 
 	// A few live deliveries from the stream, then the daemon's metrics.
-	for i := 0; i < 3 && matches > 0; i++ {
-		fmt.Println("stream delivery:", <-events)
+	for i := 0; i < 3 && res.Matches > 0; i++ {
+		d := <-deliveries
+		fmt.Printf("stream delivery: frame %d query %d objects %v\n", d.FID, d.Match.QueryID, d.Match.Objects)
 	}
-	metrics, _ := http.Get(base + "/metrics")
+	metrics, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
 	body, _ := io.ReadAll(metrics.Body)
 	metrics.Body.Close()
 	for _, line := range strings.Split(string(body), "\n") {
 		if strings.HasPrefix(line, "tvq_frames_ingested_total") ||
-			strings.HasPrefix(line, "tvq_matches_emitted_total") {
+			strings.HasPrefix(line, "tvq_matches_emitted_total") ||
+			strings.HasPrefix(line, "tvq_ingest_bytes_total") {
 			fmt.Println("metric:", line)
 		}
 	}
 
 	// --- Graceful shutdown writes the checkpoint... ---
-	sse.Body.Close()
+	stopStream()
 	srv.Shutdown()
 	stop()
 	fmt.Println("daemon stopped; checkpoint written")
@@ -116,15 +118,32 @@ func main() {
 	})
 	base2, stop2 := listen(srv2)
 	defer stop2()
-	resp := post(base2+"/v1/sessions", `{"name":"default"}`)
-	var re struct {
-		Resumed bool  `json:"resumed"`
-		Queries []int `json:"queries"`
+	client2 := tvqclient.New(base2, tvqclient.WithRegistry(reg))
+	re, err := client2.CreateSession(ctx, "default", tvqclient.SessionParams{})
+	if err != nil {
+		log.Fatal(err)
 	}
-	decode(resp, &re)
 	sess, _ := srv2.Manager().Get("default")
 	fmt.Printf("restarted: resumed=%v queries=%v cursor=%d\n", re.Resumed, re.Queries, sess.NextFID(0))
 	srv2.Shutdown()
+}
+
+// waitForStream polls the daemon's metrics until the match stream is
+// attached, so matches for the first ingested frames are not missed.
+func waitForStream(base string) {
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), "tvq_streams_active 1") {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("stream never attached")
 }
 
 // listen serves srv on a loopback port and returns its base URL.
@@ -136,23 +155,4 @@ func listen(srv *server.Server) (string, func()) {
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
 	return "http://" + ln.Addr().String(), func() { hs.Close() }
-}
-
-func post(url, body string) []byte {
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 300 {
-		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, data)
-	}
-	return data
-}
-
-func decode(data []byte, v any) {
-	if err := json.Unmarshal(data, v); err != nil {
-		log.Fatal(err)
-	}
 }

@@ -28,6 +28,13 @@ type PerfEntry struct {
 	AllocsPerFr  float64 `json:"allocs_per_frame"`
 	Bytes        uint64  `json:"bytes"`
 	BytesPerFr   float64 `json:"bytes_per_frame"`
+
+	// Wire-path fields, set only on MeasureIngest entries (method
+	// "INGEST"): which frame codec carried the batch and what it cost
+	// in bytes on the wire.
+	Codec          string  `json:"codec,omitempty"`
+	WireBytes      uint64  `json:"wire_bytes,omitempty"`
+	WireBytesPerFr float64 `json:"wire_bytes_per_frame,omitempty"`
 }
 
 // MeasurePerf runs the standard multi-query workload on one dataset once

@@ -42,8 +42,9 @@ func (o *Oracle) Process(f vr.Frame) []*State {
 	}
 	o.next++
 	// Same input-ownership contract as the incremental generators: the
-	// window retains the frame, so detach it from the caller's storage.
-	f.Objects = f.Objects.Clone()
+	// window retains the frame, so detach borrowed frames from the
+	// caller's storage; Owned frames transfer theirs.
+	f.Objects = retainObjects(f)
 	o.window = append(o.window, f)
 	if len(o.window) > o.cfg.Window {
 		o.window = o.window[1:]

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// TestOwnedFramesMatchBorrowed pins the ownership-transfer half of the
+// Process contract: a frame with Owned set hands its object-set storage
+// to the generator, which retains it without a clone. The results must
+// be indistinguishable from the borrowed path — ownership changes who
+// pays for the copy, never what is computed.
+func TestOwnedFramesMatchBorrowed(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		cfg := Config{Window: 3 + r.Intn(6)}
+		cfg.Duration = r.Intn(cfg.Window + 1)
+		feed := randomFeed(r, 25+r.Intn(15), 5+r.Intn(4), 5)
+
+		for _, name := range []string{"naive", "mfs", "ssg"} {
+			borrowed := generatorByName(name, cfg)
+			owned := generatorByName(name, cfg)
+			for _, f := range feed {
+				want := resultMap(borrowed.Process(f))
+				// Clone per frame so the transferred storage is genuinely
+				// private to the generator, as with a decoder that
+				// allocates fresh storage per frame.
+				of := vr.Frame{FID: f.FID, Objects: f.Objects.Clone(), Owned: true}
+				got := resultMap(owned.Process(of))
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s trial %d frame %d: owned run diverged\ngot  %v\nwant %v",
+						name, trial, f.FID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOwnedFrameSharedAcrossGenerators mirrors the engine's multi-group
+// fan-out: one owned frame is fed to several generators, which all
+// retain the same set without cloning. Object sets are immutable once
+// constructed, so the sharing must be invisible — every generator's
+// results must match its own borrowed baseline.
+func TestOwnedFrameSharedAcrossGenerators(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	feed := randomFeed(r, 40, 7, 5)
+	cfgs := []Config{
+		{Window: 3, Duration: 2},
+		{Window: 6, Duration: 3},
+		{Window: 9, Duration: 1},
+	}
+
+	var shared, baseline []Generator
+	for _, cfg := range cfgs {
+		shared = append(shared, NewSSG(cfg), NewMFS(cfg))
+		baseline = append(baseline, NewSSG(cfg), NewMFS(cfg))
+	}
+	for _, f := range feed {
+		of := vr.Frame{FID: f.FID, Objects: f.Objects.Clone(), Owned: true}
+		for i, g := range shared {
+			got := resultMap(g.Process(of))
+			want := resultMap(baseline[i].Process(f))
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("generator %d frame %d: shared owned frame diverged\ngot  %v\nwant %v",
+					i, f.FID, got, want)
+			}
+		}
+	}
+}
+
+// TestRetainObjectsOwnedSkipsClone pins the point of the fast path: for
+// a sparse set (where Compact is the identity) retaining an owned frame
+// allocates nothing, while the borrowed path must pay for a clone.
+func TestRetainObjectsOwnedSkipsClone(t *testing.T) {
+	s := objset.New(1, 900, 4000) // sparse: Compact keeps it as-is
+	owned := vr.Frame{Objects: s, Owned: true}
+	if n := testing.AllocsPerRun(100, func() { _ = retainObjects(owned) }); n != 0 {
+		t.Fatalf("owned retain allocated %.0f times per call, want 0", n)
+	}
+	borrowed := vr.Frame{Objects: s}
+	if n := testing.AllocsPerRun(100, func() { _ = retainObjects(borrowed) }); n == 0 {
+		t.Fatal("borrowed retain did not clone")
+	}
+}

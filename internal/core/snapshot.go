@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"tvq/internal/objset"
@@ -81,42 +80,29 @@ func DecodeGenerator(r *snapshot.Reader, cfg Config) (Generator, error) {
 	}
 }
 
-// encodeSet writes an object set as count + ascending ids. The wire
-// format is representation-independent: sparse and dense sets with the
-// same members encode identically, so snapshots survive representation
+// encodeSet writes an object set in the delta encoding shared with the
+// binary wire protocol (vr.AppendSet). The encoding is
+// representation-independent: sparse and dense sets with the same
+// members encode identically, so snapshots survive representation
 // changes in either direction.
 func encodeSet(w *snapshot.Writer, s objset.Set) {
-	w.Uvarint(uint64(s.Len()))
-	s.Range(func(id objset.ID) bool {
-		w.Uvarint(uint64(id))
-		return true
-	})
+	w.AppendWith(func(dst []byte) []byte { return vr.AppendSet(dst, s) })
 }
 
-// decodeSet reads an object set, verifying the strictly-increasing
-// invariant objset.FromSorted would otherwise panic on.
+// decodeSet reads an object set through the shared wire decoder, which
+// verifies the strictly-increasing invariant objset.FromSorted would
+// otherwise panic on (and uint32 range) before allocating.
 func decodeSet(r *snapshot.Reader) objset.Set {
-	n := r.Count(1)
-	if n == 0 {
-		return objset.Set{}
-	}
-	ids := make([]objset.ID, n)
-	for i := range ids {
-		v := r.Uvarint()
-		if v > math.MaxUint32 {
-			r.Fail("object id %d overflows uint32", v)
-			return objset.Set{}
+	var s objset.Set
+	r.Consume(func(data []byte) (int, error) {
+		set, n, err := vr.DecodeSet(data)
+		if err != nil {
+			return 0, err
 		}
-		ids[i] = objset.ID(v)
-		if i > 0 && ids[i-1] >= ids[i] {
-			r.Fail("object ids not strictly increasing: %d then %d", ids[i-1], ids[i])
-			return objset.Set{}
-		}
-	}
-	if r.Err() != nil {
-		return objset.Set{}
-	}
-	return objset.Compact(objset.FromSorted(ids))
+		s = set
+		return n, nil
+	})
+	return s
 }
 
 // encodeState writes one state: object set, frame entries with marks,

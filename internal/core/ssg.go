@@ -163,11 +163,12 @@ func (g *SSG) Process(f vr.Frame) []*State {
 			delete(g.window, fid)
 		}
 	}
-	// Clone, not Compact: the window buffer (and any principal state
-	// interned from it) outlives this call, while the frame's own storage
+	// The window buffer (and any principal state interned from it)
+	// outlives this call, so a borrowed frame is cloned: its storage
 	// belongs to the caller and may be reused for the next frame. Clone
 	// also picks the word-parallel bitmap form when the ids are dense.
-	f.Objects = f.Objects.Clone()
+	// An Owned frame's storage transfers to us, so Compact suffices.
+	f.Objects = retainObjects(f)
 	g.window[f.FID] = f.Objects
 
 	// Periodic full sweep: traversal expires nodes lazily, so nodes in

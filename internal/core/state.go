@@ -315,17 +315,36 @@ func (s *State) Aggregate(nclasses int, classOf func(objset.ID) vr.Class) []int 
 // reuse emission buffers and recycle dead states). The slice is sorted by
 // object set (objset.Compare order) for deterministic comparison.
 //
-// Ownership of the input is the mirror image: Process takes its own copy
-// of everything it retains from f (the window buffer clones f.Objects),
-// so the caller may reuse the frame's backing storage — object-id slices,
-// bitmap words — to build the next frame as soon as Process returns. A
-// live ingest loop can therefore decode into one reusable buffer.
+// Ownership of the input depends on f.Owned. For a borrowed frame (the
+// default), Process takes its own copy of everything it retains from f
+// (the window buffer clones f.Objects), so the caller may reuse the
+// frame's backing storage — object-id slices, bitmap words — to build
+// the next frame as soon as Process returns; a live ingest loop can
+// therefore decode into one reusable buffer. When f.Owned is true the
+// caller transfers the object set's storage to the generator: the
+// window retains it without a clone, and the caller must not mutate or
+// reuse it afterwards. Object sets are immutable once constructed, so
+// an owned set may still be read concurrently (e.g. by other window
+// groups fed the same frame).
 type Generator interface {
 	Name() string
 	Process(f vr.Frame) []*State
 	// StateCount reports the number of live states currently maintained,
 	// for instrumentation and benchmarks.
 	StateCount() int
+}
+
+// retainObjects returns the object set a generator may keep in its
+// window buffer past the Process call: the frame's own set when the
+// caller transferred ownership (Compact densifies when profitable and
+// otherwise returns the set unchanged, costing nothing), or a clone
+// when the frame is borrowed and its storage still belongs to the
+// caller.
+func retainObjects(f vr.Frame) objset.Set {
+	if f.Owned {
+		return objset.Compact(f.Objects)
+	}
+	return f.Objects.Clone()
 }
 
 // Metrics counts the work a generator performed; used by the experiment

@@ -109,12 +109,14 @@ func (t *table) Process(f vr.Frame) []*State {
 			delete(t.window, fid)
 		}
 	}
-	// Clone, not Compact: the window buffer outlives this call, and the
-	// frame's own storage belongs to the caller (a live ingest loop may
+	// The window buffer outlives this call, so a borrowed frame must be
+	// cloned: its storage belongs to the caller (a live ingest loop may
 	// reuse its buffers for the next frame). Clone also picks the
 	// word-parallel bitmap form when the frame's ids are dense; every
-	// state this frame spawns inherits it.
-	fo := f.Objects.Clone()
+	// state this frame spawns inherits it. An Owned frame transfers its
+	// storage to us, so Compact suffices — it densifies when profitable
+	// and is otherwise free.
+	fo := retainObjects(f)
 	t.window[f.FID] = fo
 
 	// Phase 1: slide the window — expire old frames, drop dead states.

@@ -221,9 +221,13 @@ func newGenerator(m Method, cfg core.Config) (core.Generator, error) {
 // ProcessFrame consumes the next frame of the feed (ids must be
 // consecutive from 0) and returns all query matches for the windows
 // ending at this frame. The returned matches are caller-owned and stay
-// valid as further frames are processed; conversely the engine retains
-// no alias into f, so the caller may reuse the frame's backing storage
-// (see the ownership notes on core.Generator).
+// valid as further frames are processed. For a borrowed frame (the
+// default) the engine retains no alias into f, so the caller may reuse
+// the frame's backing storage; when f.Owned is true the caller
+// transfers the object set's storage to the engine and must not mutate
+// or reuse it (see the ownership notes on core.Generator and vr.Frame).
+// Sets are immutable once constructed, so one owned set is safely
+// shared read-only across all window groups.
 func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
 	if f.FID != e.next {
 		panic(fmt.Sprintf("engine: frame %d out of order (want %d)", f.FID, e.next))
@@ -240,7 +244,14 @@ func (e *Engine) ProcessFrame(f vr.Frame) []query.Match {
 	for _, g := range e.groups {
 		gf := f
 		if g.keep != nil {
-			gf.Objects = filterSet(f.Objects, f.Classes, g.keep)
+			fo, fresh := filterSet(f.Objects, f.Classes, g.keep)
+			gf.Objects = fo
+			if fresh {
+				// The filtered set is a private allocation nothing else
+				// references, so the generator may keep it without a clone
+				// even when the input frame was borrowed.
+				gf.Owned = true
+			}
 		}
 		gf.FID = f.FID - g.startFID()
 		var began time.Time
@@ -287,7 +298,10 @@ func shiftFrames(frames []vr.FrameID, delta vr.FrameID) {
 	}
 }
 
-func filterSet(s objset.Set, classes map[objset.ID]vr.Class, keep map[vr.Class]bool) objset.Set {
+// filterSet keeps only ids whose class is in keep. It reports whether
+// the result is a fresh allocation (some id was dropped) rather than
+// the input set itself, which decides ownership of the filtered frame.
+func filterSet(s objset.Set, classes map[objset.ID]vr.Class, keep map[vr.Class]bool) (objset.Set, bool) {
 	kept := make([]objset.ID, 0, s.Len())
 	s.Range(func(id objset.ID) bool {
 		if keep[classes[id]] {
@@ -296,9 +310,9 @@ func filterSet(s objset.Set, classes map[objset.ID]vr.Class, keep map[vr.Class]b
 		return true
 	})
 	if len(kept) == s.Len() {
-		return s
+		return s, false
 	}
-	return objset.FromSorted(kept)
+	return objset.FromSorted(kept), true
 }
 
 // FrameResult pairs a frame id with its matches, for batch runs.

@@ -16,9 +16,14 @@ type Processor interface {
 	// Process runs one batch of frames and returns the frames that
 	// produced at least one match, in ingestion order. Results are
 	// caller-owned: matches stay valid indefinitely (the evaluation
-	// layer detaches them from generator state), and the processor
-	// keeps nothing that aliases the caller's frames — the caller may
-	// reuse frame backing storage as soon as Process returns.
+	// layer detaches them from generator state). For borrowed frames
+	// (Frame.Owned false, the default) the processor keeps nothing that
+	// aliases the caller's frames — the caller may reuse frame backing
+	// storage as soon as Process returns. A frame with Owned set
+	// transfers its object-set storage to the processor instead; the
+	// caller must not mutate or reuse that storage afterwards. Sets are
+	// immutable once constructed, so pool shards may read one owned set
+	// concurrently.
 	Process(frames []FeedFrame) []FeedResult
 	// AddQuery registers a query on the live processor; see
 	// Engine.AddQuery for the sharing/restart semantics and the

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tvq"
+	"tvq/internal/vr"
+)
+
+// traceBinary renders trace frames [from:to) as binary ingest bodies of
+// batch frames each. Every body is a self-contained stream (header and
+// class definitions included), exactly as a client batching a live feed
+// would produce.
+func traceBinary(t *testing.T, tr *tvq.Trace, from, to int64, batch int) [][]byte {
+	t.Helper()
+	reg := tvq.StandardRegistry()
+	frames := tr.Frames()[from:to]
+	var bodies [][]byte
+	for len(frames) > 0 {
+		n := min(batch, len(frames))
+		var buf bytes.Buffer
+		fw := vr.Binary.NewFrameWriter(&buf, reg)
+		for _, f := range frames[:n] {
+			if err := fw.WriteFrame(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, buf.Bytes())
+		frames = frames[n:]
+	}
+	return bodies
+}
+
+// TestServerIngestBinaryCodec ingests the same trace twice — once as
+// JSONL, once as the binary wire format — into two sessions of one
+// server and requires identical accounting: every batch's accepted
+// count, match count, and cursor must agree, and the binary wire bytes
+// must undercut JSONL (the format's reason to exist).
+func TestServerIngestBinaryCodec(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	for _, name := range []string{"jl", "bin"} {
+		mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+			fmt.Sprintf(`{"name":%q,"queries":[{"id":1,"query":%q,"window":10,"duration":5}]}`, name, testQuery),
+			http.StatusCreated)
+	}
+
+	type ingestResp struct {
+		Accepted int   `json:"accepted"`
+		Matches  int   `json:"matches"`
+		NextFID  int64 `json:"next_fid"`
+	}
+	post := func(session, contentType string, body []byte) ingestResp {
+		data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames?session="+session, contentType, string(body), http.StatusOK)
+		var ir ingestResp
+		if err := json.Unmarshal(data, &ir); err != nil {
+			t.Fatal(err)
+		}
+		return ir
+	}
+
+	const batch = 17
+	jsonlBodies := traceJSONL(t, tr, 0, int64(tr.Len()), batch)
+	binBodies := traceBinary(t, tr, 0, int64(tr.Len()), batch)
+	if len(jsonlBodies) != len(binBodies) {
+		t.Fatalf("batch count mismatch: %d jsonl vs %d binary", len(jsonlBodies), len(binBodies))
+	}
+	jsonlBytes, binBytes := 0, 0
+	for i := range jsonlBodies {
+		jr := post("jl", "application/x-ndjson", []byte(jsonlBodies[i]))
+		br := post("bin", "application/x-tvq-frames", binBodies[i])
+		if jr != br {
+			t.Fatalf("batch %d diverged: jsonl %+v vs binary %+v", i, jr, br)
+		}
+		jsonlBytes += len(jsonlBodies[i])
+		binBytes += len(binBodies[i])
+	}
+	if binBytes >= jsonlBytes {
+		t.Errorf("binary wire (%d bytes) not smaller than JSONL (%d bytes)", binBytes, jsonlBytes)
+	}
+
+	// The per-codec byte counters saw exactly what we sent.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata := new(bytes.Buffer)
+	if _, err := mdata.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	metrics := mdata.String()
+	for _, want := range []string{
+		fmt.Sprintf(`tvq_ingest_bytes_total{codec="jsonl"} %d`, jsonlBytes),
+		fmt.Sprintf(`tvq_ingest_bytes_total{codec="binary"} %d`, binBytes),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q\n%s", want, metrics)
+		}
+	}
+}
+
+// TestServerIngestContentNegotiation pins the Content-Type policy:
+// untyped and form-encoded bodies (what bare curl sends) decode as
+// JSONL, every codec's canonical type works, and an unclaimed type is
+// answered 415 naming the supported ones.
+func TestServerIngestContentNegotiation(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	jsonlBody := traceJSONL(t, tr, 0, 3, 3)[0]
+	okJSONL := []string{
+		"", // no Content-Type at all
+		"application/x-www-form-urlencoded",
+		"application/x-ndjson",
+		"application/x-ndjson; charset=utf-8",
+		"application/jsonl",
+		"APPLICATION/JSON",
+	}
+	for i, ct := range okJSONL {
+		name := fmt.Sprintf("s%d", i)
+		mustPost(t, client, ts.URL+"/v1/sessions", "application/json", fmt.Sprintf(`{"name":%q}`, name), http.StatusCreated)
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/feeds/0/frames?session="+name, strings.NewReader(jsonlBody))
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("Content-Type %q: status %d, want 200", ct, resp.StatusCode)
+		}
+	}
+
+	data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-protobuf", jsonlBody,
+		http.StatusUnsupportedMediaType)
+	for _, want := range []string{"application/x-protobuf", "application/x-ndjson", "application/x-tvq-frames"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("415 body missing %q: %s", want, data)
+		}
+	}
+
+	// A binary-typed body that is not a binary stream is a 400, not a
+	// panic or a 500.
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-tvq-frames", jsonlBody,
+		http.StatusBadRequest)
+}
+
+// TestServerIngestConflictCursor pins the structured 409: a replayed
+// batch is refused with the feed's expected next_fid in the body, which
+// is all a client needs to trim the batch and retry.
+func TestServerIngestConflictCursor(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	body := traceJSONL(t, tr, 0, 10, 10)[0]
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+	data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusConflict)
+	var conflict struct {
+		Error   string `json:"error"`
+		NextFID *int64 `json:"next_fid"`
+	}
+	if err := json.Unmarshal(data, &conflict); err != nil {
+		t.Fatal(err)
+	}
+	if conflict.NextFID == nil || *conflict.NextFID != 10 {
+		t.Fatalf("409 body next_fid = %v, want 10: %s", conflict.NextFID, data)
+	}
+	if conflict.Error == "" {
+		t.Fatalf("409 body has no error: %s", data)
+	}
+}

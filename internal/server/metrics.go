@@ -29,9 +29,15 @@ type Metrics struct {
 	matchesEmitted atomic.Uint64 // matches returned by Process
 	ingestRequests atomic.Uint64 // ingest HTTP requests handled
 	ingestRejected atomic.Uint64 // ingest requests rejected for backpressure
-	streamsActive  atomic.Int64  // currently connected match streams
-	streamsServed  atomic.Uint64 // match streams ever opened
-	droppedTotal   atomic.Uint64 // deliveries dropped by slow stream taps
+
+	// Wire bytes read from ingest request bodies, split by codec: the
+	// serving-side ground truth for the binary-vs-JSONL efficiency
+	// comparison.
+	ingestBytesJSONL  atomic.Uint64
+	ingestBytesBinary atomic.Uint64
+	streamsActive     atomic.Int64  // currently connected match streams
+	streamsServed     atomic.Uint64 // match streams ever opened
+	droppedTotal      atomic.Uint64 // deliveries dropped by slow stream taps
 
 	mu     sync.RWMutex
 	groups map[int]*groupStats // window size → generator stats
@@ -71,6 +77,20 @@ func (m *Metrics) Observe(st tvq.ProcessStat) {
 	g.nanos.Add(uint64(st.Elapsed.Nanoseconds()))
 }
 
+// addIngestBytes records wire bytes read from an ingest body under the
+// codec that decoded them ("binary" or "jsonl"; the form-encoded and
+// untyped curl defaults count as jsonl, which is how they are decoded).
+func (m *Metrics) addIngestBytes(codec string, n int64) {
+	if n <= 0 {
+		return
+	}
+	if codec == "binary" {
+		m.ingestBytesBinary.Add(uint64(n))
+	} else {
+		m.ingestBytesJSONL.Add(uint64(n))
+	}
+}
+
 // WritePrometheus renders the counters in the Prometheus text
 // exposition format. sessions is sampled by the caller (the server
 // knows its session table; the metrics registry does not).
@@ -85,6 +105,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessions int) {
 	counter("tvq_matches_emitted_total", "Query matches produced by ingested frames.", m.matchesEmitted.Load())
 	counter("tvq_ingest_requests_total", "Ingest requests handled.", m.ingestRequests.Load())
 	counter("tvq_ingest_rejected_total", "Ingest requests rejected for backpressure.", m.ingestRejected.Load())
+	fmt.Fprintf(w, "# HELP tvq_ingest_bytes_total Wire bytes read from ingest request bodies, by codec.\n# TYPE tvq_ingest_bytes_total counter\n")
+	fmt.Fprintf(w, "tvq_ingest_bytes_total{codec=\"jsonl\"} %d\n", m.ingestBytesJSONL.Load())
+	fmt.Fprintf(w, "tvq_ingest_bytes_total{codec=\"binary\"} %d\n", m.ingestBytesBinary.Load())
 	counter("tvq_streams_served_total", "Match streams ever opened.", m.streamsServed.Load())
 	counter("tvq_stream_dropped_total", "Deliveries dropped by slow stream consumers.", m.droppedTotal.Load())
 	gauge("tvq_streams_active", "Currently connected match streams.", m.streamsActive.Load())

@@ -1,27 +1,21 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"tvq"
 	"tvq/internal/vr"
 )
-
-// decodeFrameJSON decodes one JSONL-format frame (tvq.Frame is an alias
-// of vr.Frame, so the internal codec applies directly).
-func decodeFrameJSON(line []byte, reg *tvq.Registry) (tvq.Frame, error) {
-	return vr.DecodeFrameJSON(line, reg)
-}
 
 // Config shapes a Server.
 type Config struct {
@@ -408,6 +402,8 @@ func httpError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, tvq.ErrSessionClosed):
 		code = http.StatusServiceUnavailable
+	case errors.As(err, new(unsupportedMediaError)):
+		code = http.StatusUnsupportedMediaType
 	case isBadRequest(err):
 		code = http.StatusBadRequest
 	}
@@ -434,6 +430,19 @@ func isBadRequest(err error) bool {
 // errFrameOrder tags out-of-order ingest so it maps to 409 with the
 // expected cursor in the body rather than a 500.
 var errFrameOrder = errors.New("frame out of order")
+
+// unsupportedMediaError rejects an ingest Content-Type no codec claims;
+// it maps to 415 and names every supported type so a misconfigured
+// client can self-correct from the error body alone.
+type unsupportedMediaError struct{ ct string }
+
+func (e unsupportedMediaError) Error() string {
+	types := []string{"application/x-www-form-urlencoded (treated as JSONL)"}
+	for _, c := range vr.Codecs() {
+		types = append(types, c.ContentType())
+	}
+	return fmt.Sprintf("unsupported Content-Type %q; supported: %s", e.ct, strings.Join(types, ", "))
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -548,10 +557,14 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"closed": name})
 }
 
-// handleIngest is POST /v1/feeds/{feed}/frames: a batch of JSONL frames
-// (the trace codec's wire format, one {"fid":..,"objects":[..]} object
-// per line) for one feed. Frames must continue the feed's cursor
-// exactly; a gap or replay is answered 409 with the expected id.
+// handleIngest is POST /v1/feeds/{feed}/frames: a batch of frames for
+// one feed, encoded per the request's Content-Type — JSONL (one
+// {"fid":..,"objects":[..]} object per line; also the default for a
+// missing or form-encoded Content-Type, which is what bare curl
+// --data-binary sends) or the binary wire format
+// (application/x-tvq-frames). Any other type is answered 415 listing
+// the supported ones. Frames must continue the feed's cursor exactly; a
+// gap or replay is answered 409 with the expected id in next_fid.
 // Backpressure: when more than MaxQueuedBatches requests are already
 // waiting on this session, the request is answered 429 immediately
 // (Retry-After: 1) instead of queueing without bound.
@@ -563,6 +576,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	feed := tvq.FeedID(feed64)
+	codec, err := ingestCodec(r)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
 	st, err := s.sessionFor(r)
 	if err != nil {
 		httpError(w, err)
@@ -577,7 +595,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	frames, err := s.decodeFrames(w, r)
+	frames, bytesRead, err := s.decodeFrames(w, r, codec)
+	s.metrics.addIngestBytes(codec.Name(), bytesRead)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -615,12 +634,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Validate the cursor under the ingest lock (TOCTOU-free): the batch
-	// must continue the feed exactly where it stands.
+	// must continue the feed exactly where it stands. The 409 body
+	// carries next_fid so a client can drop already-ingested frames and
+	// retry the remainder without a second round trip.
 	next := st.sess.NextFID(feed)
 	for i, f := range frames {
 		if f.FID != next+int64(i) {
-			httpError(w, fmt.Errorf("%w: frame %d at batch index %d, feed %d expects %d",
-				errFrameOrder, f.FID, i, feed, next+int64(i)))
+			err := fmt.Errorf("%w: frame %d at batch index %d, feed %d expects %d",
+				errFrameOrder, f.FID, i, feed, next+int64(i))
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":    err.Error(),
+				"next_fid": next,
+			})
 			return
 		}
 	}
@@ -646,37 +671,68 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// decodeFrames reads the request body as JSONL frames.
-func (s *Server) decodeFrames(w http.ResponseWriter, r *http.Request) ([]tvq.Frame, error) {
-	body := http.MaxBytesReader(w, r.Body, 64<<20)
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 64*1024), 4<<20)
+// ingestCodec resolves the request's Content-Type to a frame codec. A
+// missing or form-encoded type means JSONL: that is what a bare curl
+// --data-binary sends, and rejecting it would break every quickstart
+// one-liner. Everything else must name a codec exactly.
+func ingestCodec(r *http.Request) (vr.Codec, error) {
+	ct := r.Header.Get("Content-Type")
+	mt := ct
+	if i := strings.IndexByte(mt, ';'); i >= 0 {
+		mt = mt[:i]
+	}
+	switch strings.ToLower(strings.TrimSpace(mt)) {
+	case "", "application/x-www-form-urlencoded":
+		return vr.JSONL, nil
+	}
+	if c, ok := vr.CodecByContentType(ct); ok {
+		return c, nil
+	}
+	return nil, unsupportedMediaError{ct: ct}
+}
+
+// countingReader counts bytes read through it, for the ingest byte
+// metrics that back the wire-efficiency comparison between codecs.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// decodeFrames streams the request body through the negotiated codec's
+// frame reader, so ingest never materializes the whole batch's encoded
+// form — only the decoded frames, whose count MaxBatchFrames bounds.
+// Binary-decoded frames arrive with Owned set (the decoder allocates
+// fresh storage per frame), which the processing layers use to skip the
+// clone-on-retain; JSONL frames stay on the borrowed path. The byte
+// count is returned even on error so metrics account for rejected
+// bodies.
+func (s *Server) decodeFrames(w http.ResponseWriter, r *http.Request, codec vr.Codec) ([]tvq.Frame, int64, error) {
+	cr := &countingReader{r: http.MaxBytesReader(w, r.Body, 64<<20)}
+	fr := codec.NewFrameReader(cr, s.cfg.Registry)
 	var frames []tvq.Frame
-	for sc.Scan() {
-		// sc.Bytes() is the scanner's own buffer, valid until the next
-		// Scan — fine here because decodeFrameJSON copies everything it
-		// keeps, and this avoids two per-line copies on the ingest path.
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return frames, cr.n, nil
 		}
-		f, err := decodeFrameJSON(line, s.cfg.Registry)
 		if err != nil {
-			return nil, badRequest("frame %d of batch: %v", len(frames), err)
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return nil, cr.n, badRequest("request body exceeds %d bytes", tooLarge.Limit)
+			}
+			return nil, cr.n, badRequest("frame %d of batch: %v", len(frames), err)
 		}
 		if len(frames) >= s.cfg.MaxBatchFrames {
-			return nil, badRequest("batch exceeds %d frames; split it", s.cfg.MaxBatchFrames)
+			return nil, cr.n, badRequest("batch exceeds %d frames; split it", s.cfg.MaxBatchFrames)
 		}
 		frames = append(frames, f)
 	}
-	if err := sc.Err(); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return nil, badRequest("request body exceeds %d bytes", tooLarge.Limit)
-		}
-		return nil, badRequest("read body: %v", err)
-	}
-	return frames, nil
 }
 
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {

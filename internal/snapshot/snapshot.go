@@ -34,7 +34,10 @@ import (
 // incompatible layout change; Read rejects files written by a different
 // version with a descriptive error (no cross-version migration is
 // attempted — see the compatibility promise in the README).
-const Version = 1
+//
+// Version 2 switched object-set payloads to the delta encoding shared
+// with the binary wire protocol (vr.AppendSet).
+const Version = 2
 
 const magic = "TVQSNAP\x00"
 
@@ -84,6 +87,14 @@ func (w *Writer) String(s string) {
 func (w *Writer) Blob(b []byte) {
 	w.Uvarint(uint64(len(b)))
 	w.buf = append(w.buf, b...)
+}
+
+// AppendWith hands the payload buffer to an append-style encoder (such
+// as vr.AppendSet) and adopts what it returns, so shared wire
+// primitives write straight into the payload with no intermediate
+// allocation. fn must only append.
+func (w *Writer) AppendWith(fn func(dst []byte) []byte) {
+	w.buf = fn(w.buf)
 }
 
 // Reader decodes a snapshot payload. Decoding errors are sticky: after
@@ -197,6 +208,26 @@ func (r *Reader) Blob() []byte {
 	b := r.buf[r.off : r.off+int(n)]
 	r.off += int(n)
 	return b
+}
+
+// Consume hands the unread payload to an incremental decoder (the
+// counterpart of Writer.AppendWith, e.g. vr.DecodeSet) which returns
+// how many bytes it consumed; its error, if any, becomes the reader's
+// sticky error. After a prior failure the decoder is not invoked.
+func (r *Reader) Consume(decode func(data []byte) (int, error)) {
+	if r.err != nil {
+		return
+	}
+	n, err := decode(r.buf[r.off:])
+	if err != nil {
+		r.fail("at offset %d: %v", r.off, err)
+		return
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("decoder consumed impossible length %d of %d remaining", n, r.Remaining())
+		return
+	}
+	r.off += n
 }
 
 // Count reads an element count and validates it against the remaining

@@ -8,14 +8,167 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"tvq/internal/objset"
 )
 
 // Trace file formats. The CSV codec writes a header row followed by one
 // row per tuple with the class *name* resolved through a Registry, so
-// files are self-describing and diffable. The JSONL codec writes one
-// frame per line, which is the natural unit for streaming consumers.
+// files are self-describing and diffable. The JSONL and binary codecs
+// implement the Codec interface: one frame per unit (a JSON line, a
+// length-prefixed record), which is the natural shape for streaming
+// consumers — network ingest and cmd/tvq -stream decode frame by frame
+// and never hold a full trace.
+
+// Codec is one frame wire format: a short name for CLI flags, a MIME
+// type for HTTP content negotiation, streaming per-frame readers and
+// writers, and whole-trace convenience wrappers built on them. Two
+// codecs exist: JSONL (line-delimited JSON, the debuggable fallback)
+// and Binary (the length-prefixed binary wire protocol).
+type Codec interface {
+	// Name is the codec's short name ("jsonl", "binary"), used by CLI
+	// flags and to derive file extensions.
+	Name() string
+	// ContentType is the canonical MIME type for HTTP negotiation.
+	ContentType() string
+	// NewFrameReader returns a streaming decoder over r; Next yields
+	// frames one at a time and reports io.EOF at a clean end of
+	// stream. Unknown class names are registered in reg.
+	NewFrameReader(r io.Reader, reg *Registry) FrameReader
+	// NewFrameWriter returns a streaming encoder over w; the caller
+	// must call Flush once after the last frame.
+	NewFrameWriter(w io.Writer, reg *Registry) FrameWriter
+	// ReadTrace decodes a whole trace: frames are densified from 0 to
+	// the maximum frame id seen, exactly like NewTrace.
+	ReadTrace(r io.Reader, reg *Registry) (*Trace, error)
+	// WriteTrace encodes a whole trace.
+	WriteTrace(w io.Writer, t *Trace, reg *Registry) error
+}
+
+// FrameReader decodes frames one at a time. Next returns io.EOF at a
+// clean end of stream; any other error is terminal (further calls
+// return the same error). Whether the returned frames are owned or
+// borrowed is a per-codec contract — see Frame.Owned: the binary
+// reader allocates fresh storage per frame and marks frames Owned; the
+// JSONL reader leaves them borrowed (the conservative default).
+type FrameReader interface {
+	Next() (Frame, error)
+}
+
+// FrameWriter encodes frames one at a time. Writers may buffer; Flush
+// must be called once after the last frame (it also materializes the
+// stream header when no frames were written, so an empty stream still
+// round-trips).
+type FrameWriter interface {
+	WriteFrame(f Frame) error
+	Flush() error
+}
+
+// The two codec instances. Both are stateless and safe to share.
+var (
+	// JSONL is the line-delimited JSON codec: one
+	// {"fid":..,"objects":[{"id":..,"class":".."}]} object per frame.
+	JSONL Codec = jsonlCodec{}
+	// Binary is the length-prefixed binary codec; see binary.go for
+	// the format.
+	Binary Codec = binaryCodec{}
+)
+
+// Codecs returns all codecs, JSONL first.
+func Codecs() []Codec { return []Codec{JSONL, Binary} }
+
+// CodecByName resolves a codec by its short name.
+func CodecByName(name string) (Codec, bool) {
+	for _, c := range Codecs() {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// CodecByContentType resolves a codec from a MIME type, ignoring
+// parameters ("; charset=..."). Besides the canonical types it accepts
+// the common JSONL aliases application/jsonl and application/json.
+// The empty string resolves to nothing — defaulting is the caller's
+// policy, not the codec registry's.
+func CodecByContentType(contentType string) (Codec, bool) {
+	mt := contentType
+	if i := strings.IndexByte(mt, ';'); i >= 0 {
+		mt = mt[:i]
+	}
+	mt = strings.ToLower(strings.TrimSpace(mt))
+	switch mt {
+	case JSONL.ContentType(), "application/jsonl", "application/json":
+		return JSONL, true
+	case Binary.ContentType():
+		return Binary, true
+	}
+	return nil, false
+}
+
+// readTraceFrom drains a FrameReader into a densified Trace: frames are
+// materialized from 0 to the maximum frame id seen (ids absent from the
+// stream become empty frames), per-frame class maps are merged into one
+// feed-wide table, and conflicting classes for one object id are
+// rejected as corrupt input.
+func readTraceFrom(fr FrameReader) (*Trace, error) {
+	classes := make(map[objset.ID]Class)
+	perFrame := make(map[FrameID][]objset.ID)
+	maxFID := FrameID(-1)
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if f.FID < 0 {
+			return nil, fmt.Errorf("vr: negative frame id %d", f.FID)
+		}
+		if f.FID >= MaxTraceFrames {
+			return nil, fmt.Errorf("vr: frame id %d exceeds MaxTraceFrames (%d)", f.FID, MaxTraceFrames)
+		}
+		if f.FID > maxFID {
+			maxFID = f.FID
+		}
+		var conflict error
+		f.Objects.Range(func(id objset.ID) bool {
+			c := f.Classes[id]
+			if prev, ok := classes[id]; ok && prev != c {
+				conflict = fmt.Errorf("vr: object %d has conflicting classes %d and %d", id, prev, c)
+				return false
+			}
+			classes[id] = c
+			perFrame[f.FID] = append(perFrame[f.FID], id)
+			return true
+		})
+		if conflict != nil {
+			return nil, conflict
+		}
+	}
+	tr := &Trace{classes: classes}
+	for fid := FrameID(0); fid <= maxFID; fid++ {
+		tr.frames = append(tr.frames, Frame{
+			FID:     fid,
+			Objects: objset.New(perFrame[fid]...),
+			Classes: classes,
+		})
+	}
+	return tr, nil
+}
+
+// writeTraceTo streams every frame of t through fw and flushes.
+func writeTraceTo(fw FrameWriter, t *Trace) error {
+	for _, f := range t.Frames() {
+		if err := fw.WriteFrame(f); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}
 
 // WriteCSV encodes the trace as CSV with header "fid,id,class".
 func WriteCSV(w io.Writer, t *Trace, reg *Registry) error {
@@ -96,38 +249,113 @@ type jsonObject struct {
 	Class string `json:"class"`
 }
 
-// WriteJSONL encodes the trace as one JSON object per frame.
-func WriteJSONL(w io.Writer, t *Trace, reg *Registry) error {
+// jsonlCodec is the line-delimited JSON implementation of Codec.
+type jsonlCodec struct{}
+
+func (jsonlCodec) Name() string        { return "jsonl" }
+func (jsonlCodec) ContentType() string { return "application/x-ndjson" }
+
+func (jsonlCodec) NewFrameReader(r io.Reader, reg *Registry) FrameReader {
+	return &jsonlFrameReader{dec: json.NewDecoder(r), reg: reg}
+}
+
+func (jsonlCodec) NewFrameWriter(w io.Writer, reg *Registry) FrameWriter {
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for _, f := range t.Frames() {
-		jf := jsonFrame{FID: f.FID}
-		for _, id := range f.Objects.IDs() {
-			name := reg.Name(t.ClassOf(id))
-			if name == "" {
-				return fmt.Errorf("vr: class %d not in registry", t.ClassOf(id))
-			}
-			jf.Objects = append(jf.Objects, jsonObject{ID: id, Class: name})
-		}
-		if err := enc.Encode(jf); err != nil {
-			return fmt.Errorf("vr: encode frame %d: %w", f.FID, err)
-		}
+	return &jsonlFrameWriter{bw: bw, enc: json.NewEncoder(bw), reg: reg}
+}
+
+func (c jsonlCodec) ReadTrace(r io.Reader, reg *Registry) (*Trace, error) {
+	return readTraceFrom(c.NewFrameReader(r, reg))
+}
+
+func (c jsonlCodec) WriteTrace(w io.Writer, t *Trace, reg *Registry) error {
+	return writeTraceTo(c.NewFrameWriter(w, reg), t)
+}
+
+// jsonlFrameReader streams frames from a JSON decoder. The decoder
+// accepts whitespace (including blank lines) between objects, so the
+// reader handles both strict one-object-per-line input and concatenated
+// JSON values.
+type jsonlFrameReader struct {
+	dec *json.Decoder
+	reg *Registry
+	err error
+}
+
+func (r *jsonlFrameReader) Next() (Frame, error) {
+	if r.err != nil {
+		return Frame{}, r.err
 	}
-	return bw.Flush()
+	var jf jsonFrame
+	if err := r.dec.Decode(&jf); err == io.EOF {
+		r.err = io.EOF
+		return Frame{}, io.EOF
+	} else if err != nil {
+		r.err = fmt.Errorf("vr: decode frame: %w", err)
+		return Frame{}, r.err
+	}
+	f, err := frameFromJSON(jf, r.reg)
+	if err != nil {
+		r.err = err
+	}
+	return f, err
+}
+
+// jsonlFrameWriter streams frames through a buffered JSON encoder.
+type jsonlFrameWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	reg *Registry
+}
+
+func (w *jsonlFrameWriter) WriteFrame(f Frame) error {
+	jf := jsonFrame{FID: f.FID}
+	var nameErr error
+	f.Objects.Range(func(id objset.ID) bool {
+		name := w.reg.Name(f.Classes[id])
+		if name == "" {
+			nameErr = fmt.Errorf("vr: class %d not in registry", f.Classes[id])
+			return false
+		}
+		jf.Objects = append(jf.Objects, jsonObject{ID: id, Class: name})
+		return true
+	})
+	if nameErr != nil {
+		return nameErr
+	}
+	if err := w.enc.Encode(jf); err != nil {
+		return fmt.Errorf("vr: encode frame %d: %w", f.FID, err)
+	}
+	return nil
+}
+
+func (w *jsonlFrameWriter) Flush() error { return w.bw.Flush() }
+
+// WriteJSONL encodes the trace as one JSON object per frame.
+//
+// Deprecated: use JSONL.WriteTrace. WriteJSONL is a thin shim kept for
+// compatibility; the output bytes are identical.
+func WriteJSONL(w io.Writer, t *Trace, reg *Registry) error {
+	return JSONL.WriteTrace(w, t, reg)
 }
 
 // DecodeFrameJSON decodes one frame in the JSONL wire format —
 // {"fid":3,"objects":[{"id":1,"class":"car"}]} — into a Frame with its
 // own freshly-allocated object set and class map, registering unknown
-// class names in reg. This is the unit codec behind network ingest,
-// where frames arrive in batches on a live connection and a whole-trace
-// reader does not apply; ReadJSONL remains the bulk path. An empty or
-// absent objects list is a valid (empty) frame.
+// class names in reg. This is the unit codec behind the JSONL
+// FrameReader; an empty or absent objects list is a valid (empty)
+// frame. The returned frame is not marked Owned: JSONL is the borrowed
+// path, and consumers clone what they retain.
 func DecodeFrameJSON(data []byte, reg *Registry) (Frame, error) {
 	var jf jsonFrame
 	if err := json.Unmarshal(data, &jf); err != nil {
 		return Frame{}, fmt.Errorf("vr: decode frame: %w", err)
 	}
+	return frameFromJSON(jf, reg)
+}
+
+// frameFromJSON validates and converts one decoded jsonFrame.
+func frameFromJSON(jf jsonFrame, reg *Registry) (Frame, error) {
 	if jf.FID < 0 {
 		return Frame{}, fmt.Errorf("vr: negative frame id %d", jf.FID)
 	}
@@ -157,59 +385,11 @@ func DecodeFrameJSON(data []byte, reg *Registry) (Frame, error) {
 }
 
 // ReadJSONL decodes a trace written by WriteJSONL.
+//
+// Deprecated: use JSONL.ReadTrace. ReadJSONL is a thin shim kept for
+// compatibility; note that it, like the codec, buffers only the decoded
+// frames, not the input bytes — for incremental processing use
+// JSONL.NewFrameReader instead of materializing a Trace at all.
 func ReadJSONL(r io.Reader, reg *Registry) (*Trace, error) {
-	dec := json.NewDecoder(r)
-	var tuples []Tuple
-	for {
-		var jf jsonFrame
-		if err := dec.Decode(&jf); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("vr: decode frame: %w", err)
-		}
-		if len(jf.Objects) == 0 {
-			// Preserve empty frames by emitting a sentinel tuple-free
-			// frame: NewTrace densifies up to the max fid, so an empty
-			// trailing frame needs representation. We emit a tuple with
-			// fid but roll it back below — simpler: track max fid.
-			tuples = append(tuples, Tuple{FID: jf.FID, ID: emptyFrameSentinel, Class: 0})
-			continue
-		}
-		for _, o := range jf.Objects {
-			if o.ID == emptyFrameSentinel {
-				return nil, fmt.Errorf("vr: frame %d uses reserved object id %d", jf.FID, emptyFrameSentinel)
-			}
-			if o.Class == "" {
-				// See ReadCSV: the writers cannot produce an empty name.
-				return nil, fmt.Errorf("vr: empty class name for object %d in frame %d", o.ID, jf.FID)
-			}
-			tuples = append(tuples, Tuple{FID: jf.FID, ID: o.ID, Class: reg.Class(o.Class)})
-		}
-	}
-	t, err := NewTrace(tuples)
-	if err != nil {
-		return nil, err
-	}
-	return stripSentinel(t), nil
-}
-
-// emptyFrameSentinel marks frames that contain no detections so that the
-// densifying constructor still materializes them. The id is the maximum
-// uint32, which real traces never assign.
-const emptyFrameSentinel = ^uint32(0)
-
-func stripSentinel(t *Trace) *Trace {
-	classes := t.Classes()
-	if _, ok := classes[emptyFrameSentinel]; !ok {
-		return t
-	}
-	delete(classes, emptyFrameSentinel)
-	sentinel := objset.New(emptyFrameSentinel)
-	frames := t.Frames()
-	for i, f := range frames {
-		if f.Objects.Contains(emptyFrameSentinel) {
-			frames[i].Objects = f.Objects.Minus(sentinel)
-		}
-	}
-	return t
+	return JSONL.ReadTrace(r, reg)
 }

@@ -101,6 +101,20 @@ type Frame struct {
 	// shared with the feed-wide class table when frames come from a
 	// Trace; callers must treat it as read-only.
 	Classes map[objset.ID]Class
+	// Owned transfers ownership of the frame's object-set storage to the
+	// consumer: a frame marked Owned promises that nothing else aliases
+	// or will reuse Objects' backing storage, so the engine may retain
+	// the set directly (read-only, forever) instead of cloning it.
+	//
+	// Leave Owned false — the safe default — whenever the producer keeps
+	// or reuses the storage: the engine then treats the frame as
+	// borrowed and copies what it retains. Decoders that allocate fresh
+	// storage per frame (the binary wire codec) set Owned; the JSONL
+	// path stays borrowed. Once a frame marked Owned has been handed to
+	// Process, the producer must not mutate Objects again (concurrent
+	// read-only sharing across window groups and pool shards relies on
+	// the set being immutable).
+	Owned bool
 }
 
 // ClassOf returns the class of object id in this frame.

@@ -261,7 +261,11 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 func TestReadJSONLRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"{not json\n",
-		`{"fid":0,"objects":[{"id":4294967295,"class":"car"}]}` + "\n",
+		`{"fid":-1,"objects":[]}` + "\n",
+		`{"fid":0,"objects":[{"id":7,"class":""}]}` + "\n",
+		// Object 7 changes class between frames: corrupt trace.
+		`{"fid":0,"objects":[{"id":7,"class":"car"}]}` + "\n" +
+			`{"fid":1,"objects":[{"id":7,"class":"bus"}]}` + "\n",
 	}
 	for _, c := range cases {
 		if _, err := ReadJSONL(strings.NewReader(c), StandardRegistry()); err == nil {

@@ -3,6 +3,7 @@ package tvq
 import (
 	"context"
 	"errors"
+	"io"
 	"iter"
 )
 
@@ -122,6 +123,33 @@ func TraceFrames(t *Trace) iter.Seq[Frame] {
 	return func(yield func(Frame) bool) {
 		for _, f := range t.Frames() {
 			if !yield(f) {
+				return
+			}
+		}
+	}
+}
+
+// DecodeFrames streams frames decoded from r by the given codec: each
+// decoded frame is yielded with a nil error, a clean end of stream ends
+// the sequence, and a decode failure yields exactly one (zero frame,
+// error) pair before ending it. Unlike ReadTraceJSONL/ReadTraceBinary
+// it never materializes the trace, so arbitrarily long inputs process
+// in constant memory — the path behind cmd/tvq -stream. Frames decoded
+// by the binary codec arrive with Owned set, so a session retains them
+// without cloning; see Frame.Owned.
+func DecodeFrames(r io.Reader, c Codec, reg *Registry) iter.Seq2[Frame, error] {
+	return func(yield func(Frame, error) bool) {
+		fr := c.NewFrameReader(r, reg)
+		for {
+			f, err := fr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(Frame{}, err)
+				return
+			}
+			if !yield(f, nil) {
 				return
 			}
 		}

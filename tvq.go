@@ -283,6 +283,58 @@ func ReadTraceJSONL(r io.Reader, reg *Registry) (*Trace, error) { return vr.Read
 // WriteTraceJSONL encodes a trace as JSON Lines.
 func WriteTraceJSONL(w io.Writer, t *Trace, reg *Registry) error { return vr.WriteJSONL(w, t, reg) }
 
+// ReadTraceBinary decodes a trace from the binary wire format (see the
+// README's wire-protocol section).
+func ReadTraceBinary(r io.Reader, reg *Registry) (*Trace, error) {
+	return vr.Binary.ReadTrace(r, reg)
+}
+
+// WriteTraceBinary encodes a trace in the binary wire format — the same
+// frames as JSONL in a fraction of the bytes.
+func WriteTraceBinary(w io.Writer, t *Trace, reg *Registry) error {
+	return vr.Binary.WriteTrace(w, t, reg)
+}
+
+// Codec is a frame-stream encoding: JSONL (text, line-oriented) or
+// Binary (length-prefixed records, delta-encoded sets). Both sides of
+// the wire agree on a codec by name (CLI flags) or MIME type (HTTP
+// Content-Type).
+type Codec = vr.Codec
+
+// FrameReader streams frames out of an encoded stream; Next returns
+// io.EOF at a clean end of stream. Frames decoded from the binary
+// format arrive with Frame.Owned set: their storage belongs to the
+// consumer, and the processing layers retain them without a copy.
+type FrameReader = vr.FrameReader
+
+// FrameWriter streams frames into an encoded stream; call Flush once
+// after the last frame.
+type FrameWriter = vr.FrameWriter
+
+// The two wire codecs.
+var (
+	// JSONLCodec is the line-oriented text format: one
+	// {"fid":..,"objects":[..]} object per line. Decoded frames are
+	// borrowed (cloned on retain).
+	JSONLCodec Codec = vr.JSONL
+	// BinaryCodec is the length-prefixed binary format
+	// (application/x-tvq-frames). Decoded frames transfer ownership.
+	BinaryCodec Codec = vr.Binary
+)
+
+// Codecs lists every wire codec.
+func Codecs() []Codec { return vr.Codecs() }
+
+// CodecByName resolves a codec by short name ("jsonl", "binary").
+func CodecByName(name string) (Codec, bool) { return vr.CodecByName(name) }
+
+// CodecByContentType resolves a codec by MIME type, ignoring
+// parameters; it accepts common JSONL aliases (application/x-ndjson,
+// application/jsonl, application/json).
+func CodecByContentType(contentType string) (Codec, bool) {
+	return vr.CodecByContentType(contentType)
+}
+
 // FormatMatch renders a match in a human-readable single line.
 func FormatMatch(m Match) string {
 	frames := m.Frames
