@@ -193,6 +193,36 @@ func BenchmarkFigure8(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryScaling measures per-frame cost against the number of
+// standing subscriptions, 10 → 10k, drawn from a fixed
+// bench.ScalingShapes-body catalog (the serving fleet model: many
+// subscribers, few distinct query shapes). The shared query plan
+// hash-conses bodies across subscriptions and evaluates each distinct
+// predicate once per state, so time/op must grow sublinearly across
+// the three decades — the q=10000 run staying within a small factor of
+// q=10 rather than 1000×.
+func BenchmarkQueryScaling(b *testing.B) {
+	ds := loadBenchDataset(b, "M2")
+	for _, n := range bench.ScalingQueryCounts {
+		qs := bench.ScalingWorkload(n, bench.ScalingShapes, scaled(bench.DefaultWindow), scaled(bench.DefaultDuration), 1)
+		b.Run(fmt.Sprintf("q=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(qs, engine.Options{
+					Method:   engine.MethodMFS,
+					Registry: vr.NewRegistry(ds.Reg.Names()...),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, f := range ds.Trace.Frames() {
+					eng.ProcessFrame(f)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFigure9 evaluates the §5.3 pruning strategy: ≥-only workloads
 // with varying n_min, with and without result-driven termination.
 func BenchmarkFigure9(b *testing.B) {

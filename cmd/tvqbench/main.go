@@ -89,6 +89,11 @@ func runJSON(cfg bench.Config, dir string, subset []string) error {
 		if err != nil {
 			return err
 		}
+		scaling, err := cfg.MeasureScaling(name)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, scaling...)
 		ingest, err := cfg.MeasureIngest(name)
 		if err != nil {
 			return err

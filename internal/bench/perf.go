@@ -83,6 +83,54 @@ func (c Config) MeasurePerf(name string, queries int) ([]PerfEntry, error) {
 	return entries, nil
 }
 
+// MeasureScaling runs the query-scaling workload on one dataset: the
+// subscription count sweeps ScalingQueryCounts over a fixed
+// ScalingShapes-body catalog, MFS, one record per count (method
+// "SCALING"). Under the shared query plan, frames_per_sec should stay
+// near-flat across the sweep — per-frame cost tracks the catalog, not
+// the subscription count.
+func (c Config) MeasureScaling(name string) ([]PerfEntry, error) {
+	ds, err := c.LoadDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	window, duration := c.scale(DefaultWindow), c.scale(DefaultDuration)
+
+	var entries []PerfEntry
+	for _, n := range ScalingQueryCounts {
+		qs := ScalingWorkload(n, ScalingShapes, window, duration, c.Seed)
+		eng, err := engine.New(qs, engine.Options{
+			Method:   engine.MethodMFS,
+			Registry: cloneRegistry(ds.Reg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for _, f := range ds.Trace.Frames() {
+			eng.ProcessFrame(f)
+		}
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		frames := ds.Trace.Len()
+		allocs := after.Mallocs - before.Mallocs
+		bytes := after.TotalAlloc - before.TotalAlloc
+		entries = append(entries, PerfEntry{
+			Dataset: name, Method: "SCALING", Window: window, Duration: duration,
+			Queries: n, Frames: frames, Seconds: secs,
+			FramesPerSec: float64(frames) / secs,
+			Allocs:       allocs,
+			AllocsPerFr:  float64(allocs) / float64(frames),
+			Bytes:        bytes,
+			BytesPerFr:   float64(bytes) / float64(frames),
+		})
+	}
+	return entries, nil
+}
+
 // PerfFileName is the per-dataset output name, BENCH_<dataset>.json.
 func PerfFileName(dataset string) string { return fmt.Sprintf("BENCH_%s.json", dataset) }
 

@@ -1,0 +1,67 @@
+package core
+
+import "tvq/internal/objset"
+
+// TerminateMemo caches §5.3 termination decisions per object set. The
+// decision depends only on the set's per-class counts and the query
+// plan, so a set re-derived as the window slides pays the plan scan
+// once. Entries key on the set's 64-bit content hash with an
+// exact-equality chain on collisions, so a hit allocates nothing.
+//
+// The cache is keyed to a plan generation: the shared query plan bumps
+// its generation on every Subscribe/Cancel patch, and the first lookup
+// under a new generation drops every cached decision — a set the old
+// query set kept alive may be terminable under the new one, and vice
+// versa. A TerminateMemo is not safe for concurrent use.
+type TerminateMemo struct {
+	gen     uint64
+	primed  bool
+	entries map[uint64][]terminateEntry
+}
+
+type terminateEntry struct {
+	set objset.Set
+	v   bool
+}
+
+// NewTerminateMemo returns an empty memo.
+func NewTerminateMemo() *TerminateMemo {
+	return &TerminateMemo{entries: make(map[uint64][]terminateEntry)}
+}
+
+// Lookup returns the cached decision for s under plan generation gen.
+// A generation change invalidates the whole cache.
+func (m *TerminateMemo) Lookup(gen uint64, s objset.Set) (v, ok bool) {
+	if !m.primed || m.gen != gen {
+		clear(m.entries)
+		m.gen, m.primed = gen, true
+		return false, false
+	}
+	for _, e := range m.entries[s.Hash()] {
+		if e.set.Equal(s) {
+			return e.v, true
+		}
+	}
+	return false, false
+}
+
+// Store records the decision for s under plan generation gen. s may be
+// scratch-backed (generators probe with transient intersections); the
+// memo owns a clone.
+func (m *TerminateMemo) Store(gen uint64, s objset.Set, v bool) {
+	if !m.primed || m.gen != gen {
+		clear(m.entries)
+		m.gen, m.primed = gen, true
+	}
+	h := s.Hash()
+	m.entries[h] = append(m.entries[h], terminateEntry{set: s.Clone(), v: v})
+}
+
+// Len reports the number of cached decisions, for tests.
+func (m *TerminateMemo) Len() int {
+	n := 0
+	for _, chain := range m.entries {
+		n += len(chain)
+	}
+	return n
+}

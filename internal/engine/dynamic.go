@@ -4,15 +4,15 @@ import (
 	"fmt"
 
 	"tvq/internal/cnf"
-	"tvq/internal/query"
 )
 
 // AddQuery registers a query while the engine is running (the CNFEval
 // index of §5.1 is designed for dynamic insertion). A query joining an
-// existing window group shares that group's state history and sees
-// results immediately; a query opening a new window size gets a fresh
-// generator, so its first results reflect only frames processed from now
-// on (its reported frame sets still use feed frame ids).
+// existing window group patches that group's shared plan in place —
+// predicates and clauses it shares with registered queries are reused —
+// and sees results immediately; a query opening a new window size gets a
+// fresh generator, so its first results reflect only frames processed
+// from now on (its reported frame sets still use feed frame ids).
 //
 // AddQuery is incompatible with the §5.3 result-driven pruning strategy
 // and returns an error wrapping ErrPruningIncompatible when
@@ -30,40 +30,35 @@ func (e *Engine) AddQuery(q cnf.Query) error {
 		return err
 	}
 	for _, g := range e.groups {
-		for _, existing := range g.eval.Queries() {
-			if existing.ID == q.ID {
-				return fmt.Errorf("engine: query id %d: %w", q.ID, ErrDuplicateQuery)
-			}
+		if g.eval.Has(q.ID) {
+			return fmt.Errorf("engine: query id %d: %w", q.ID, ErrDuplicateQuery)
 		}
 	}
 	for _, g := range e.groups {
 		if g.window != q.Window {
 			continue
 		}
-		// Rebuild the group's evaluator over the extended query set. The
-		// existing generator's history is reusable only if the new query
-		// loosens nothing: a smaller duration than the group's push-down
-		// means states below it were withheld, and a class (or identity)
-		// the old filter dropped means its objects are missing from every
-		// state. Either way the group restarts at the current frame.
-		queries := append(append([]cnf.Query{}, g.eval.Queries()...), q)
-		ev, err := query.NewEvaluator(e.opts.Registry, queries)
-		if err != nil {
-			return err
-		}
-		restart := ev.MinDuration() < g.eval.MinDuration()
+		// The existing generator's history is reusable only if the new
+		// query loosens nothing: a smaller duration than the group's
+		// push-down means states below it were withheld, and a class (or
+		// identity) the old filter dropped means its objects are missing
+		// from every state. Either way the group restarts at the current
+		// frame; otherwise the shared plan is patched in place.
+		restart := q.Duration < g.eval.MinDuration()
 		if g.keep != nil && !restart {
 			if q.HasIdentity() {
 				restart = true
-			}
-			for c := range ev.Classes() {
-				if !g.keep[c] {
-					restart = true
-					break
+			} else {
+				for _, label := range q.Labels() {
+					if c, ok := e.opts.Registry.Lookup(label); ok && !g.keep[c] {
+						restart = true
+						break
+					}
 				}
 			}
 		}
 		if restart {
+			queries := append(append([]cnf.Query{}, g.eval.Queries()...), q)
 			ng, err := e.newGroup(queries)
 			if err != nil {
 				return err
@@ -72,9 +67,9 @@ func (e *Engine) AddQuery(q cnf.Query) error {
 			*g = *ng
 			return nil
 		}
-		g.eval = ev
-		e.setClassFilter(g)
-		return nil
+		// No restart means the new query's classes are already kept (or
+		// the filter keeps everything), so the class filter is unchanged.
+		return g.eval.Add(q)
 	}
 	// New window size: fresh group starting at the current frame.
 	g, err := e.newGroup([]cnf.Query{q})
@@ -87,32 +82,21 @@ func (e *Engine) AddQuery(q cnf.Query) error {
 }
 
 // RemoveQuery deregisters a query; it reports whether the query was
-// present. Removing the last query of a window group drops the group and
-// its state. Removal is always sound, including under §5.3 pruning
-// (shrinking the query set only enlarges the set of droppable states).
+// present. The group's shared plan releases the query's subscriber slot
+// and any predicate handles it alone held; removing the last query of a
+// window group drops the group and its state. Removal is always sound,
+// including under §5.3 pruning (shrinking the query set only enlarges
+// the set of droppable states).
 func (e *Engine) RemoveQuery(id int) (bool, error) {
 	for gi, g := range e.groups {
-		found := false
-		var rest []cnf.Query
-		for _, q := range g.eval.Queries() {
-			if q.ID == id {
-				found = true
-				continue
-			}
-			rest = append(rest, q)
-		}
-		if !found {
+		if !g.eval.Has(id) {
 			continue
 		}
-		if len(rest) == 0 {
+		if g.eval.Len() == 1 {
 			e.groups = append(e.groups[:gi], e.groups[gi+1:]...)
 			return true, nil
 		}
-		ev, err := query.NewEvaluator(e.opts.Registry, rest)
-		if err != nil {
-			return false, err
-		}
-		g.eval = ev
+		g.eval.Remove(id)
 		e.setClassFilter(g)
 		return true, nil
 	}

@@ -1,8 +1,16 @@
 // Package query is the Query Evaluation module of the paper's
 // architecture (Figure 2, §5): it evaluates CNF count queries against the
-// result state sets produced by the MCOS Generation layer, using the
-// CNFEvalE index, and implements the §5.3 result-driven pruning strategy
-// that feeds back into state maintenance for ≥-only query sets.
+// result state sets produced by the MCOS Generation layer, and implements
+// the §5.3 result-driven pruning strategy that feeds back into state
+// maintenance for ≥-only query sets.
+//
+// Evaluation runs over a shared multi-query plan (see plan.go): the
+// registered query set is compiled once, predicates and clauses are
+// hash-consed across queries, each distinct predicate is evaluated once
+// per state, and matches fan out to the owning queries through bitset
+// masks — so per-frame cost tracks the number of distinct predicates
+// and bodies, not the number of subscriptions. Add and Remove patch the
+// plan incrementally instead of recompiling it.
 package query
 
 import (
@@ -24,65 +32,98 @@ type Match struct {
 	Frames  []vr.FrameID
 }
 
-// Evaluator evaluates a fixed set of queries, all sharing one window
+// Evaluator evaluates a dynamic set of queries, all sharing one window
 // size, against result state sets. Queries with different windows belong
 // in different evaluators (the engine groups them, as §3 prescribes).
+// An empty evaluator is valid — it matches nothing and adopts the
+// window of the first query added — so dynamic paths (a session opened
+// with no queries, Subscribe before any frame) never hit a special
+// case. An Evaluator is not safe for concurrent use: evaluation reuses
+// internal scratch buffers.
 type Evaluator struct {
-	queries []cnf.Query
-	index   *cnf.EvalE
 	reg     *vr.Registry
-	labels  []string
-	// byID resolves a query's duration at match time: the generator's
-	// push-down uses the group's minimum duration, so individual queries
-	// re-check their own.
-	byID map[int]cnf.Query
-
-	// countsBuf is the per-state label-count map, reused across states
-	// and frames (the index reads it synchronously); one reason the
-	// evaluator is not safe for concurrent use.
-	countsBuf map[string]int
+	queries []cnf.Query // registration order, for Queries()
+	window  int         // 0 while empty
+	p       *plan
 }
 
-// NewEvaluator builds an evaluator over queries. All queries must share
-// the same window size and be valid.
+// NewEvaluator builds an evaluator over queries — possibly none. All
+// queries must be valid, share the same window size and have distinct
+// ids.
 func NewEvaluator(reg *vr.Registry, queries []cnf.Query) (*Evaluator, error) {
-	if len(queries) == 0 {
-		return nil, fmt.Errorf("query: no queries")
-	}
-	w := queries[0].Window
-	byID := make(map[int]cnf.Query, len(queries))
+	e := &Evaluator{reg: reg, p: newPlan(reg)}
 	for _, q := range queries {
-		if err := q.Validate(); err != nil {
+		if err := e.Add(q); err != nil {
 			return nil, err
 		}
-		if q.Window != w {
-			return nil, fmt.Errorf("query: query %d window %d differs from group window %d", q.ID, q.Window, w)
-		}
-		if _, dup := byID[q.ID]; dup {
-			return nil, fmt.Errorf("query: duplicate query id %d", q.ID)
-		}
-		byID[q.ID] = q
 	}
-	index, err := cnf.NewEvalE(queries...)
-	if err != nil {
-		return nil, err
-	}
-	return &Evaluator{
-		queries:   queries,
-		index:     index,
-		reg:       reg,
-		labels:    index.Labels(),
-		byID:      byID,
-		countsBuf: make(map[string]int, len(index.Labels())),
-	}, nil
+	return e, nil
 }
 
-// Window returns the shared window size of the evaluator's queries.
-func (e *Evaluator) Window() int { return e.queries[0].Window }
+// Add registers one query, patching the shared plan incrementally:
+// predicates and clauses the query shares with registered ones are
+// reused, new ones are interned, and the query claims a subscriber
+// slot in its body's fan-out mask. On a warm plan (shapes seen before)
+// Add allocates nothing.
+func (e *Evaluator) Add(q cnf.Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if len(q.Clauses) == 0 {
+		return fmt.Errorf("query: query %d has no clauses", q.ID)
+	}
+	if len(e.queries) > 0 && q.Window != e.window {
+		return fmt.Errorf("query: query %d window %d differs from group window %d", q.ID, q.Window, e.window)
+	}
+	if e.p.has(q.ID) {
+		return fmt.Errorf("query: duplicate query id %d", q.ID)
+	}
+	e.p.add(q)
+	e.window = q.Window
+	e.queries = append(e.queries, q)
+	return nil
+}
+
+// Remove deregisters a query, releasing its subscriber slot and any
+// predicate, clause or body handles no remaining query shares; it
+// reports whether the query was present. Removing the last query
+// leaves a valid empty evaluator.
+func (e *Evaluator) Remove(id int) bool {
+	if !e.p.remove(id) {
+		return false
+	}
+	w := 0
+	for _, q := range e.queries {
+		if q.ID != id {
+			e.queries[w] = q
+			w++
+		}
+	}
+	e.queries = e.queries[:w]
+	if len(e.queries) == 0 {
+		e.window = 0
+	}
+	return true
+}
+
+// Has reports whether a query with the given id is registered.
+func (e *Evaluator) Has(id int) bool { return e.p.has(id) }
+
+// Len returns the number of registered queries.
+func (e *Evaluator) Len() int { return e.p.len() }
+
+// Window returns the shared window size of the evaluator's queries, or
+// zero for an empty evaluator (the typed zero value: no query, no
+// window).
+func (e *Evaluator) Window() int { return e.window }
 
 // MinDuration returns the smallest duration among the queries — the
-// push-down threshold for the MCOS generator (§3).
+// push-down threshold for the MCOS generator (§3) — or zero for an
+// empty evaluator.
 func (e *Evaluator) MinDuration() int {
+	if len(e.queries) == 0 {
+		return 0
+	}
 	min := e.queries[0].Duration
 	for _, q := range e.queries[1:] {
 		if q.Duration < min {
@@ -92,46 +133,51 @@ func (e *Evaluator) MinDuration() int {
 	return min
 }
 
+// Generation counts plan patches (Add/Remove); caches derived from the
+// plan — the §5.3 termination memo — key on it.
+func (e *Evaluator) Generation() uint64 { return e.p.gen }
+
 // Classes returns the set of classes referenced by the queries, resolved
 // through the registry; the engine uses it to drop unrequested classes
 // before MCOS generation (§3). Labels that are not registered classes are
 // skipped (they can never match and evaluate as count zero).
 func (e *Evaluator) Classes() map[vr.Class]bool {
 	keep := make(map[vr.Class]bool)
-	for _, label := range e.labels {
-		if c, ok := e.reg.Lookup(label); ok {
+	for i := range e.p.labels {
+		lx := &e.p.labels[i]
+		if lx.live == 0 {
+			continue
+		}
+		if c, ok := e.reg.Lookup(lx.label); ok {
 			keep[c] = true
 		}
 	}
 	return keep
 }
 
-// counts derives the per-label object counts of a state, using the
-// state's cached per-class aggregate (§5.2 step 2a). The returned map is
-// the evaluator's reusable buffer, valid until the next call.
-func (e *Evaluator) counts(s *core.State, classOf func(objset.ID) vr.Class) map[string]int {
-	agg := s.Aggregate(e.reg.Len(), classOf)
-	clear(e.countsBuf)
-	for _, label := range e.labels {
-		if c, ok := e.reg.Lookup(label); ok {
-			e.countsBuf[label] = agg[c]
-		}
-	}
-	return e.countsBuf
-}
-
-// EvaluateStates runs every query against a result state set and returns
-// all matches, sorted by (query id, object set) for determinism (§5.2
-// step 2).
+// EvaluateStates runs the shared plan against a result state set and
+// returns all matches, sorted by (query id, object set) for determinism
+// (§5.2 step 2). Each state's per-class counts drive one pass over the
+// distinct predicates; satisfied bodies fan out to their subscribers,
+// each re-checking its own duration (the generator push-down used the
+// group's minimum).
 func (e *Evaluator) EvaluateStates(states []*core.State, classOf func(objset.ID) vr.Class) []Match {
+	if len(e.queries) == 0 || len(states) == 0 {
+		return nil
+	}
+	e.p.refreshLabels()
+	nclasses := e.reg.Len()
 	var out []Match
 	for _, s := range states {
-		counts := e.counts(s, classOf)
-		for _, qid := range e.index.MatchesSet(counts, s.Objects.Contains) {
-			if s.FrameCount() < e.byID[qid].Duration {
-				continue // group push-down used the minimum duration
-			}
-			out = append(out, Match{QueryID: qid, Objects: s.Objects, Frames: s.Frames()})
+		agg := s.Aggregate(nclasses, classOf)
+		frameCount := s.FrameCount()
+		for _, bid := range e.p.satisfied(agg, s.Objects) {
+			e.p.forEachSub(bid, func(sub *subscriber) {
+				if frameCount < sub.duration {
+					return
+				}
+				out = append(out, Match{QueryID: sub.qid, Objects: s.Objects, Frames: s.Frames()})
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -144,8 +190,9 @@ func (e *Evaluator) EvaluateStates(states []*core.State, classOf func(objset.ID)
 }
 
 // GEOnly reports whether the §5.3 pruning strategy is applicable: every
-// condition of every query uses ≥ (Proposition 1).
-func (e *Evaluator) GEOnly() bool { return e.index.GEOnly() }
+// condition of every query uses ≥ (Proposition 1). The plan tracks the
+// count of non-≥ predicates, so this is O(1).
+func (e *Evaluator) GEOnly() bool { return e.p.nonGE == 0 }
 
 // TerminatePredicate returns the state-termination predicate of §5.3, or
 // nil when the query set contains non-≥ conditions. The predicate is
@@ -153,34 +200,26 @@ func (e *Evaluator) GEOnly() bool { return e.index.GEOnly() }
 // satisfies no query can be dropped immediately, because per-class counts
 // of subsets are no larger and ≥ conditions are monotone in the counts.
 //
-// Decisions are memoized per object set — the predicate depends only on
-// per-class counts, which are fixed for a given set — so a set that is
-// re-derived as the window slides pays the index scan once. The memo
-// keys on the set's 64-bit content hash with an exact-equality chain on
-// collisions, so a memo hit allocates nothing (the seed built a key
-// string per call). The returned predicate is not safe for concurrent
-// use.
+// Decisions are memoized in a core.TerminateMemo keyed to the shared
+// plan's generation: a Cancel that shrinks the query set (the only
+// plan patch allowed under pruning) invalidates the cache, so the
+// predicate always answers for the current plan. The returned predicate
+// is not safe for concurrent use.
 func (e *Evaluator) TerminatePredicate(classOf func(objset.ID) vr.Class) func(objset.Set) bool {
 	if !e.GEOnly() {
 		return nil
 	}
-	type memoEntry struct {
-		set objset.Set
-		v   bool
-	}
-	nclasses := e.reg.Len()
-	memo := make(map[uint64][]memoEntry)
-	counts := make(map[string]int, len(e.labels))
-	agg := make([]int, nclasses)
+	memo := core.NewTerminateMemo()
+	var agg []int
 	return func(objects objset.Set) bool {
-		key := objects.Hash()
-		for _, m := range memo[key] {
-			if m.set.Equal(objects) {
-				return m.v
-			}
+		gen := e.p.gen
+		if v, ok := memo.Lookup(gen, objects); ok {
+			return v
 		}
-		for i := range agg {
-			agg[i] = 0
+		nclasses := e.reg.Len()
+		agg = agg[:0]
+		for len(agg) < nclasses {
+			agg = append(agg, 0)
 		}
 		objects.Range(func(id objset.ID) bool {
 			if c := int(classOf(id)); c < nclasses {
@@ -188,18 +227,12 @@ func (e *Evaluator) TerminatePredicate(classOf func(objset.ID) vr.Class) func(ob
 			}
 			return true
 		})
-		for _, label := range e.labels {
-			if c, ok := e.reg.Lookup(label); ok {
-				counts[label] = agg[c]
-			}
-		}
-		v := !e.index.AnySatisfiedSet(counts, objects.Contains)
-		// objects may be scratch-backed (generators probe with transient
-		// intersections); the memo must own its copy.
-		memo[key] = append(memo[key], memoEntry{set: objects.Clone(), v: v})
+		e.p.refreshLabels()
+		v := len(e.p.satisfied(agg, objects)) == 0
+		memo.Store(gen, objects, v)
 		return v
 	}
 }
 
-// Queries returns the evaluator's queries.
+// Queries returns the evaluator's queries in registration order.
 func (e *Evaluator) Queries() []cnf.Query { return e.queries }

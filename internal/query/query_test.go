@@ -42,8 +42,8 @@ func buildStates(t *testing.T, sets []objset.Set, w, d int) []*core.State {
 
 func TestNewEvaluatorValidation(t *testing.T) {
 	reg := vr.StandardRegistry()
-	if _, err := NewEvaluator(reg, nil); err == nil {
-		t.Error("empty query set accepted")
+	if _, err := NewEvaluator(reg, nil); err != nil {
+		t.Errorf("empty query set rejected: %v", err)
 	}
 	qs := []cnf.Query{
 		mkQuery(t, 1, "car >= 1", 10, 5),

@@ -2,10 +2,12 @@ package vr
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
 	"testing"
+	"testing/iotest"
 
 	"tvq/internal/objset"
 )
@@ -115,10 +117,35 @@ func TestBinaryEmptyTrace(t *testing.T) {
 	}
 }
 
-// TestBinaryTruncatedPrefixes feeds every proper prefix of a valid
-// stream to the decoder: each must end with io.EOF (prefix happens to
-// fall on a record boundary) or a typed truncation/corruption error —
-// never a panic, never silent success past the cut.
+// recordBoundaries walks the stream's length-prefixed framing and
+// returns every offset at which a record (or the header) ends — the
+// only offsets where a decoder may report clean io.EOF.
+func recordBoundaries(t *testing.T, stream []byte) []int {
+	t.Helper()
+	if len(stream) < 5 {
+		t.Fatalf("stream shorter than the %d-byte header", 5)
+	}
+	bounds := []int{5}
+	pos := 5
+	for pos < len(stream) {
+		length, n := binary.Uvarint(stream[pos:])
+		if n <= 0 {
+			t.Fatalf("bad record length varint at offset %d", pos)
+		}
+		pos += n + int(length)
+		if pos > len(stream) {
+			t.Fatalf("record overruns stream at offset %d", pos)
+		}
+		bounds = append(bounds, pos)
+	}
+	return bounds
+}
+
+// TestBinaryTruncatedPrefixes feeds every prefix of a valid stream to
+// the decoder with the exact contract: clean io.EOF if and only if the
+// cut falls on a record boundary, vr.ErrTruncated everywhere else —
+// never a panic, never silent success past the cut, never a clean end
+// mid-record.
 func TestBinaryTruncatedPrefixes(t *testing.T) {
 	reg := StandardRegistry()
 	tr := randomTrace(rand.New(rand.NewSource(14)), 12, 8)
@@ -127,19 +154,72 @@ func TestBinaryTruncatedPrefixes(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	for cut := 0; cut < len(full); cut++ {
+	boundary := make(map[int]bool)
+	for _, b := range recordBoundaries(t, full) {
+		boundary[b] = true
+	}
+	for cut := 0; cut <= len(full); cut++ {
 		fr := Binary.NewFrameReader(bytes.NewReader(full[:cut]), StandardRegistry())
 		var err error
 		for err == nil {
 			_, err = fr.Next()
 		}
-		var ce *CorruptError
-		if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.As(err, &ce) {
-			t.Fatalf("prefix %d/%d: untyped error %v", cut, len(full), err)
+		if boundary[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut %d/%d on a record boundary: err = %v, want io.EOF", cut, len(full), err)
+			}
+		} else if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d/%d mid-record: err = %v, want ErrTruncated", cut, len(full), err)
 		}
-		// The error is sticky: a second Next reports the same failure.
+		// The result is sticky: a second Next reports a failure again.
 		if _, again := fr.Next(); again == nil {
-			t.Fatalf("prefix %d: reader kept going after terminal error", cut)
+			t.Fatalf("cut %d: reader kept going after terminal result", cut)
+		}
+	}
+}
+
+// TestBinaryTrailingGarbage pins the boundary half of the truncation
+// contract from the other side: a valid stream with trailing partial
+// bytes after its last full record must yield every original frame and
+// then vr.ErrTruncated — a clean io.EOF would silently swallow the
+// tail of a corrupted file.
+func TestBinaryTrailingGarbage(t *testing.T) {
+	reg := StandardRegistry()
+	tr := randomTrace(rand.New(rand.NewSource(18)), 6, 6)
+	var buf bytes.Buffer
+	if err := Binary.WriteTrace(&buf, tr, reg); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	tails := [][]byte{
+		{0x80},             // unterminated length varint
+		{0xff},             // unterminated length varint, high bits
+		{0xff, 0xff, 0xff}, // longer unterminated varint
+		{0x85, 0x90},       // multi-byte varint cut mid-way
+		{0x10},             // length 16 with no body
+		{0x03, 0x02},       // length 3 with a 1-byte body
+	}
+	for _, tail := range tails {
+		stream := append(append([]byte{}, full...), tail...)
+		for _, mode := range []string{"plain", "one-byte-reads"} {
+			var rd io.Reader = bytes.NewReader(stream)
+			if mode == "one-byte-reads" {
+				rd = iotest.OneByteReader(bytes.NewReader(stream))
+			}
+			fr := Binary.NewFrameReader(rd, StandardRegistry())
+			frames := 0
+			var err error
+			for err == nil {
+				if _, err = fr.Next(); err == nil {
+					frames++
+				}
+			}
+			if frames != tr.Len() {
+				t.Fatalf("tail %x (%s): decoded %d frames before failing, want all %d", tail, mode, frames, tr.Len())
+			}
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("tail %x (%s): err = %v, want ErrTruncated", tail, mode, err)
+			}
 		}
 	}
 }
@@ -281,6 +361,10 @@ func FuzzDecodeFrameBinary(f *testing.F) {
 		[]byte("TVQF\x01\x00"),             // zero-length record
 		{},
 		[]byte("\xff\xfe\x00"),
+		// Trailing garbage after full records: must end ErrTruncated.
+		append(append([]byte{}, valid.Bytes()...), 0x80),
+		append(append([]byte{}, valid.Bytes()...), 0x10),
+		append(append([]byte{}, valid.Bytes()...), 0x03, 0x02),
 	}
 	for _, s := range seeds {
 		f.Add(s)

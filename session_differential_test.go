@@ -385,3 +385,191 @@ func TestDifferentialSessionStrategies(t *testing.T) {
 		t.Fatal("no generated workload produced any match; harness is vacuous")
 	}
 }
+
+// TestSessionSubscribeFirst pins the open-session-then-Subscribe-first
+// flow, single and pooled: a session opened with no queries processes
+// frames (matching nothing, panicking nowhere), a mid-stream Subscribe
+// creates the first window group, and from then on the subscription's
+// stream equals a fresh static session over the suffix it observed.
+func TestSessionSubscribeFirst(t *testing.T) {
+	q := tvq.MustQuery(1, "car >= 1 AND person >= 2", 10, 5)
+	for _, kind := range sessionKinds {
+		t.Run(kind.name, func(t *testing.T) {
+			tr := sessionTrace(t)
+			s, err := tvq.Open(nil, kind.opts...) // no queries yet
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			const cut = int64(15)
+			var got []string
+			for _, f := range tr.Frames() {
+				if f.FID == cut {
+					if _, err := s.Subscribe(q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ms, err := s.ProcessFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f.FID < cut && len(ms) > 0 {
+					t.Fatalf("query-less session matched at frame %d: %+v", f.FID, ms)
+				}
+				for _, m := range ms {
+					got = append(got, shiftedKey(f.FID, m, 0))
+				}
+			}
+
+			oracle, err := tvq.Open(nil, tvq.WithQueries(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer oracle.Close()
+			var want []string
+			for _, f := range suffixFrames(tr, cut) {
+				ms, err := oracle.ProcessFrame(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range ms {
+					want = append(want, shiftedKey(f.FID, m, cut))
+				}
+			}
+			if len(want) == 0 {
+				t.Fatal("oracle produced no matches; test is vacuous")
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("subscribe-first stream diverges from fresh static run (%d vs %d matches)", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestDifferentialSessionChurn hammers the shared plan's incremental
+// patching: several subscriptions arrive and cancel mid-trace, each on
+// its own window size, and every (strategy × session kind) run must
+// produce the identical per-query streams — which must in turn equal a
+// fresh static per-query session over exactly the frames each
+// subscription observed. This is the shared-plan ≡ fresh-per-query-run
+// oracle of the differential harness, exercised under churn.
+func TestDifferentialSessionChurn(t *testing.T) {
+	methods := []tvq.Method{tvq.MethodNaive, tvq.MethodMFS, tvq.MethodSSG}
+	matched := 0
+	for i := 0; i < 8; i++ {
+		seed := int64(9000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomSessionTrace(t, rng)
+			nbase := 1 + rng.Intn(2)
+			base := make([]tvq.Query, nbase)
+			for qi := range base {
+				base[qi] = randomCondQuery(rng, qi+1, 2+rng.Intn(10))
+			}
+			// Each churn interval gets a unique window size (base windows
+			// are ≤ 11), so its group state starts fresh at the subscribe
+			// point and a static suffix run is an exact oracle.
+			type interval struct {
+				q         tvq.Query
+				at, until int64
+			}
+			ivs := make([]interval, 3+rng.Intn(3))
+			for ci := range ivs {
+				at := int64(rng.Intn(tr.Len() - 2))
+				until := at + 1 + rng.Int63n(int64(tr.Len())-at-1)
+				ivs[ci] = interval{q: randomCondQuery(rng, 100+ci, 12+ci), at: at, until: until}
+			}
+
+			runOne := func(method tvq.Method, opts []tvq.Option) map[int][]string {
+				t.Helper()
+				s, err := tvq.Open(nil, append([]tvq.Option{
+					tvq.WithQueries(base...),
+					tvq.WithMethod(method),
+				}, opts...)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				subs := make(map[int]*tvq.Subscription)
+				streams := make(map[int][]string)
+				for _, f := range tr.Frames() {
+					for ci, iv := range ivs {
+						if iv.at == f.FID {
+							if subs[ci], err = s.Subscribe(iv.q); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if iv.until == f.FID && subs[ci] != nil {
+							if err := subs[ci].Cancel(); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					ms, err := s.ProcessFrame(f)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range ms {
+						streams[m.QueryID] = append(streams[m.QueryID], shiftedKey(f.FID, m, 0))
+					}
+				}
+				return streams
+			}
+
+			var ref map[int][]string
+			for ki, kind := range sessionKinds {
+				for mi, method := range methods {
+					got := runOne(method, kind.opts)
+					if ki == 0 && mi == 0 {
+						ref = got
+						continue
+					}
+					if len(got) != len(ref) {
+						t.Errorf("%s/%s: %d query streams, reference has %d", kind.name, method, len(got), len(ref))
+					}
+					for qid, want := range ref {
+						if fmt.Sprint(got[qid]) != fmt.Sprint(want) {
+							t.Errorf("%s/%s: query %d stream diverges under churn\nrepro: go test -run 'TestDifferentialSessionChurn/seed=%d' .",
+								kind.name, method, qid, seed)
+						}
+					}
+				}
+			}
+
+			// Fresh per-query oracle: each subscription observed exactly
+			// the frames [at, until).
+			for _, iv := range ivs {
+				oracle, err := tvq.Open(nil, tvq.WithQueries(iv.q))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []string
+				for _, f := range suffixFrames(tr, iv.at) {
+					if f.FID+iv.at >= iv.until {
+						break
+					}
+					ms, err := oracle.ProcessFrame(f)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range ms {
+						want = append(want, shiftedKey(f.FID, m, iv.at))
+					}
+				}
+				oracle.Close()
+				if fmt.Sprint(ref[iv.q.ID]) != fmt.Sprint(want) {
+					t.Errorf("query %d: shared-plan stream diverges from fresh per-query run (%d vs %d matches)\nrepro: go test -run 'TestDifferentialSessionChurn/seed=%d' .",
+						iv.q.ID, len(ref[iv.q.ID]), len(want), seed)
+				}
+				matched += len(want)
+			}
+			for _, q := range base {
+				matched += len(ref[q.ID])
+			}
+		})
+	}
+	if matched == 0 {
+		t.Fatal("no generated workload produced any match; harness is vacuous")
+	}
+}

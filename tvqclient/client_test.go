@@ -258,3 +258,77 @@ func TestClientErrors(t *testing.T) {
 		t.Fatal("bad query accepted")
 	}
 }
+
+// TestClientCursorStall pins the 409 convergence-stall detection
+// against stub servers the real daemon never imitates: a cursor that
+// advances between corrections is progress (another producer racing us)
+// and converges with exact Skipped accounting, while a cursor that
+// refuses to move past a prior correction fails fast with
+// ErrCursorStalled instead of burning the retry budget on a resend the
+// server already rejected.
+func TestClientCursorStall(t *testing.T) {
+	ctx := context.Background()
+	frames := testTrace(t).Frames()[:10]
+
+	// Converging stub: two corrections with an advancing cursor, then
+	// acceptance of the remaining frames.
+	calls := 0
+	converge := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.Header().Set("Content-Type", "application/json")
+		switch calls {
+		case 1:
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprint(w, `{"error":"batch does not continue cursor","next_fid":3}`)
+		case 2:
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprint(w, `{"error":"batch does not continue cursor","next_fid":6}`)
+		default:
+			fmt.Fprint(w, `{"accepted":4,"matches":0,"next_fid":10}`)
+		}
+	}))
+	defer converge.Close()
+	res, err := tvqclient.New(converge.URL).Ingest(ctx, 0, frames)
+	if err != nil {
+		t.Fatalf("converging ingest: %v", err)
+	}
+	if res.Skipped != 6 || res.Accepted != 4 || res.NextFID != 10 {
+		t.Fatalf("converging ingest accounting: %+v", res)
+	}
+
+	// Stalling stub: every batch draws the same next_fid, even once the
+	// batch starts exactly there.
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		fmt.Fprint(w, `{"error":"batch does not continue cursor","next_fid":5}`)
+	}))
+	defer stall.Close()
+	res, err = tvqclient.New(stall.URL).Ingest(ctx, 0, frames)
+	if !errors.Is(err, tvqclient.ErrCursorStalled) {
+		t.Fatalf("stalled ingest error = %v, want ErrCursorStalled", err)
+	}
+	// The first correction legitimately pruned frames 0..4; the stall is
+	// detected on the second, before any frame is double-counted.
+	if res.Skipped != 5 || res.Accepted != 0 {
+		t.Fatalf("stalled ingest accounting: %+v", res)
+	}
+
+	// A regressing cursor (moving backwards) is a stall too, not an
+	// excuse to re-skip frames the daemon claims not to have.
+	first := true
+	regress := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		if first {
+			first = false
+			fmt.Fprint(w, `{"error":"batch does not continue cursor","next_fid":5}`)
+			return
+		}
+		fmt.Fprint(w, `{"error":"batch does not continue cursor","next_fid":2}`)
+	}))
+	defer regress.Close()
+	if _, err := tvqclient.New(regress.URL).Ingest(ctx, 0, frames); !errors.Is(err, tvqclient.ErrCursorStalled) {
+		t.Fatalf("regressing ingest error = %v, want ErrCursorStalled", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,20 +29,36 @@ type IngestResult struct {
 	Skipped int
 }
 
+// ErrCursorStalled reports a 409 retry loop that cannot converge: the
+// daemon rejected a batch without moving its cursor past where it
+// already stood, so resending the same frames would draw the same
+// rejection forever. It indicates a server- or state-level problem —
+// not a racing producer, whose ingests always advance the cursor.
+var ErrCursorStalled = errors.New("tvqclient: feed cursor stalled")
+
 // Ingest sends frames of one feed, batched per WithBatch and encoded
 // per WithCodec. Frames must be in frame-id order. When the daemon
 // answers 409 (the batch does not continue the feed's cursor), the
 // reported next_fid prunes the already-ingested prefix and the rest is
 // retried — up to WithCursorRetries corrections — so an at-least-once
 // producer converges on the cursor instead of failing. A cursor ahead
-// of the daemon's (a gap the client cannot fill) is an error.
+// of the daemon's (a gap the client cannot fill) is an error, as is a
+// 409 whose cursor did not advance past the previous correction's
+// (wrapping ErrCursorStalled): convergence requires progress, and a
+// stalled cursor means the daemon would reject the resend too.
 func (c *Client) Ingest(ctx context.Context, feed tvq.FeedID, frames []tvq.Frame) (IngestResult, error) {
 	var res IngestResult
 	retries := c.retries
+	lastNext := int64(-1)
 	for len(frames) > 0 {
 		n := min(c.batch, len(frames))
 		br, err := c.ingestBatch(ctx, feed, frames[:n])
 		if conflict, ok := err.(*cursorConflictError); ok {
+			if lastNext >= 0 && conflict.nextFID <= lastNext {
+				return res, fmt.Errorf("%w: feed %d cursor stuck at %d after a correction to %d: %v",
+					ErrCursorStalled, feed, conflict.nextFID, lastNext, conflict.apiErr)
+			}
+			lastNext = conflict.nextFID
 			if retries == 0 {
 				return res, fmt.Errorf("tvqclient: cursor conflicts exhausted %d retries: %w", c.retries, conflict.apiErr)
 			}
