@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	findings := analysis.RunFixture(t, lockorder.Analyzer, "testdata/src/a")
+	// Four delivery-under-lock shapes: a weakened analyzer fails here
+	// even if the want comments were edited away.
+	if len(findings) < 4 {
+		t.Fatalf("lockorder found %d diagnostics on the fixture, want at least 4", len(findings))
+	}
+}

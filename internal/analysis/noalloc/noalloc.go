@@ -1,0 +1,392 @@
+// Package noalloc enforces the zero-allocation contract of functions
+// annotated //tvq:noalloc — the MCOS hot paths rebuilt in PR 4 and the
+// shared-plan patch paths of PR 7, whose budgets are pinned at runtime
+// by AllocsPerRun tests. The analyzer makes the contract visible at
+// the line that breaks it instead of as a post-hoc counter regression.
+//
+// Inside an annotated function the following constructs are flagged:
+//
+//   - make / new
+//   - slice and map composite literals, and &T{...} (heap-escaping)
+//   - append whose result is not assigned back to the expression it
+//     grows (x = append(x, ...) amortizes; y := append(x, ...) copies)
+//   - string ↔ []byte/[]rune conversions
+//   - func literals that capture variables (escaping closures; a
+//     capture-free literal compiles to a static function value)
+//   - interface boxing: a concrete non-pointer-shaped value passed
+//     where an interface is expected (fmt-style variadics included)
+//   - go statements
+//
+// Recognized cold paths are exempt, because a hot function's slow path
+// is allowed to pay: constructs guarded by a nil test or a cap()/len()
+// growth check (lazy init, amortized buffer growth), arguments to
+// panic (terminal), constructs inside a return that produces an error
+// (the hot path is the nil-error path), and lines marked
+// //tvq:coldalloc <reason> (a deliberate, reviewed allocation — e.g. a
+// state pool refill).
+//
+// The check is function-local: calls to other functions are not
+// traversed. The runtime AllocsPerRun pins remain the ground truth for
+// whole-path budgets; this analyzer keeps each annotated frame honest.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"tvq/internal/analysis"
+)
+
+// Analyzer enforces //tvq:noalloc annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flags allocation-introducing constructs inside //tvq:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	cold := analysis.ColdallocLines(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.HasNoallocDirective(fn) {
+				continue
+			}
+			c := &checker{pass: pass, fn: fn, cold: cold}
+			ast.Walk(c, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checker walks one annotated function body keeping the ancestor
+// stack, so exemptions (panic args, error returns, growth guards) can
+// look outward from each flagged node.
+type checker struct {
+	pass  *analysis.Pass
+	fn    *ast.FuncDecl
+	cold  map[string]map[int]bool
+	stack []ast.Node
+}
+
+func (c *checker) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		c.stack = c.stack[:len(c.stack)-1]
+		return nil
+	}
+	c.stack = append(c.stack, n)
+	switch n := n.(type) {
+	case *ast.GoStmt:
+		c.report(n.Pos(), "go statement allocates a goroutine")
+	case *ast.FuncLit:
+		if c.captures(n) {
+			c.report(n.Pos(), "func literal captures variables and escapes to the heap")
+		}
+		// Do not descend: the literal runs on its own budget; its body
+		// is the callee's problem (annotate it separately if hot).
+		c.stack = c.stack[:len(c.stack)-1]
+		return nil
+	case *ast.CompositeLit:
+		switch c.typeOf(n).Underlying().(type) {
+		case *types.Slice:
+			c.report(n.Pos(), "slice literal allocates")
+		case *types.Map:
+			c.report(n.Pos(), "map literal allocates")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.report(n.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+	case *ast.CallExpr:
+		c.checkCall(n)
+	}
+	return c
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			c.report(call.Pos(), "make allocates")
+			return
+		case "new":
+			c.report(call.Pos(), "new allocates")
+			return
+		case "append":
+			c.checkAppend(call)
+			return
+		case "panic", "len", "cap", "copy", "delete", "clear", "min", "max", "print", "println":
+			return
+		}
+	}
+	// Conversions: T(x).
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	// Interface boxing at call boundaries.
+	sig, ok := c.typeOf(call.Fun).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) && c.boxes(arg) {
+			c.report(arg.Pos(), "interface boxing of a non-pointer value allocates")
+		}
+	}
+}
+
+// checkAppend flags append calls whose result does not flow back into
+// the expression being grown — the reuse-amortized idiom
+// x = append(x, ...) (also x = append(x[:n], ...)) is the only
+// accepted form.
+func (c *checker) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := exprText(sliceBase(call.Args[0]))
+	if assign, ok := c.parent(1).(*ast.AssignStmt); ok {
+		for i, rhs := range assign.Rhs {
+			if unparen(rhs) == call && i < len(assign.Lhs) && exprText(assign.Lhs[i]) == base {
+				return
+			}
+		}
+	}
+	c.report(call.Pos(), "append result does not feed back into %s: growth is not amortized", base)
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	from := c.typeOf(call.Args[0])
+	if isString(to) && (isByteSlice(from) || isRuneSlice(from)) {
+		c.report(call.Pos(), "[]byte/[]rune to string conversion allocates")
+	}
+	if isString(from) && (isByteSlice(to) || isRuneSlice(to)) {
+		c.report(call.Pos(), "string to []byte/[]rune conversion allocates")
+	}
+	if types.IsInterface(to) && c.boxes(call.Args[0]) {
+		c.report(call.Pos(), "interface boxing of a non-pointer value allocates")
+	}
+}
+
+// captures reports whether the func literal references a variable
+// declared outside itself (other than package-level objects).
+func (c *checker) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return true // package-level
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// boxes reports whether converting e to an interface allocates: its
+// static type is concrete and not pointer-shaped (pointers, channels,
+// maps, funcs and unsafe pointers fit in the interface word).
+func (c *checker) boxes(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// report applies the cold-path exemptions before recording a
+// diagnostic.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.exempt(pos) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) exempt(pos token.Pos) bool {
+	p := c.pass.Fset.Position(pos)
+	if c.cold[p.Filename][p.Line] {
+		return true
+	}
+	errResult := returnsError(c.fn)
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		switch n := c.stack[i].(type) {
+		case *ast.ReturnStmt:
+			// Constructing the error return is the cold path: the hot
+			// path returns nil.
+			if errResult {
+				return true
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		case *ast.IfStmt:
+			// Growth/lazy-init guard: a condition consulting nil, cap()
+			// or len() marks the branch as the amortized slow path.
+			if isGrowthGuard(n.Cond) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func returnsError(fn *ast.FuncDecl) bool {
+	res := fn.Type.Results
+	if res == nil {
+		return false
+	}
+	for _, f := range res.List {
+		if id, ok := f.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+func isGrowthGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "nil" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// parent returns the n-th ancestor of the node currently being visited
+// (1 = immediate parent).
+func (c *checker) parent(n int) ast.Node {
+	if len(c.stack) <= n {
+		return nil
+	}
+	return c.stack[len(c.stack)-1-n]
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// sliceBase strips slicing and parens: append(x[:0], ...) grows x.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// exprText renders an expression for textual comparison of append
+// destinations; it covers the chains that appear on real hot paths.
+func exprText(e ast.Expr) string {
+	var b strings.Builder
+	writeExprText(&b, e)
+	return b.String()
+}
+
+func writeExprText(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExprText(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExprText(b, x.X)
+		b.WriteByte('[')
+		writeExprText(b, x.Index)
+		b.WriteByte(']')
+	case *ast.ParenExpr:
+		writeExprText(b, x.X)
+	case *ast.BasicLit:
+		b.WriteString(x.Value)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExprText(b, x.X)
+	default:
+		b.WriteString("?")
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}

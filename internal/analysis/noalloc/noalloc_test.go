@@ -1,0 +1,17 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	findings := analysis.RunFixture(t, noalloc.Analyzer, "testdata/src/a")
+	// Nine red constructs across eight annotated functions: a weakened
+	// ruleset fails here even if the want comments were edited away.
+	if len(findings) < 9 {
+		t.Fatalf("noalloc found %d diagnostics on the fixture, want at least 9", len(findings))
+	}
+}

@@ -1,0 +1,141 @@
+// Package a is the noalloc fixture: annotated functions modeled on the
+// MCOS hot paths, with each allocation class represented once and the
+// accepted cold-path idioms pinned as clean.
+package a
+
+import "fmt"
+
+type proc struct {
+	buf   []uint64
+	byKey map[uint64]int
+}
+
+func consume(v any) { _ = v }
+
+// Red case 1 — unguarded make on the hot path.
+//
+//tvq:noalloc
+func (p *proc) MakeEveryCall(n int) {
+	p.buf = make([]uint64, n) // want `make allocates`
+}
+
+// Red case 2 — map and slice literals allocate per call.
+//
+//tvq:noalloc
+func (p *proc) Literals() {
+	p.byKey = map[uint64]int{} // want `map literal allocates`
+	p.buf = []uint64{1, 2}     // want `slice literal allocates`
+}
+
+// Red case 3 — &composite escapes.
+//
+//tvq:noalloc
+func (p *proc) Escape() *proc {
+	q := &proc{} // want `&composite literal escapes to the heap`
+	return q
+}
+
+// Red case 4 — append into a fresh variable copies instead of
+// amortizing into the reused buffer.
+//
+//tvq:noalloc
+func (p *proc) CopyGrowth(v uint64) {
+	out := append(p.buf, v) // want `append result does not feed back into p.buf`
+	_ = out
+}
+
+// Red case 5 — string conversions allocate.
+//
+//tvq:noalloc
+func (p *proc) Stringify(b []byte) string {
+	return string(b) // want `\[\]byte/\[\]rune to string conversion allocates`
+}
+
+// Red case 6 — a capturing closure escapes.
+//
+//tvq:noalloc
+func (p *proc) Closure(v uint64) func() uint64 {
+	return func() uint64 { return v } // want `func literal captures variables`
+}
+
+// Red case 7 — interface boxing of a non-pointer value.
+//
+//tvq:noalloc
+func (p *proc) Box(v uint64) {
+	consume(v) // want `interface boxing of a non-pointer value allocates`
+}
+
+// Red case 8 — spawning a goroutine allocates its stack.
+//
+//tvq:noalloc
+func (p *proc) Spawn(done chan struct{}) {
+	go sendDone(done) // want `go statement allocates a goroutine`
+}
+
+func sendDone(done chan struct{}) { done <- struct{}{} }
+
+// Clean: the amortized reuse idiom — append feeds its own base back.
+//
+//tvq:noalloc
+func (p *proc) Amortized(vs []uint64) {
+	out := p.buf[:0]
+	for _, v := range vs {
+		out = append(out, v)
+	}
+	p.buf = out[:0]
+	p.buf = append(p.buf, vs...)
+}
+
+// Clean: growth behind a cap guard is the amortized slow path
+// (objset.IntersectInto's idiom), and lazy init behind a nil guard
+// (emitter.emit's idiom).
+//
+//tvq:noalloc
+func (p *proc) Guarded(n int) {
+	if cap(p.buf) < n {
+		p.buf = make([]uint64, n, n+n/2)
+	}
+	if p.byKey == nil {
+		p.byKey = make(map[uint64]int)
+	}
+}
+
+// Clean: constructing an error return is the cold path; the hot path
+// returns nil (Evaluator.Add's idiom).
+//
+//tvq:noalloc
+func (p *proc) Validated(n int) error {
+	if n < 0 {
+		return fmt.Errorf("noalloc fixture: negative count %d", n)
+	}
+	return nil
+}
+
+// Clean: panic arguments are terminal.
+//
+//tvq:noalloc
+func (p *proc) Checked(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+}
+
+// Clean: a reviewed, deliberate allocation carries a coldalloc marker.
+//
+//tvq:noalloc
+func (p *proc) PoolRefill() {
+	p.buf = make([]uint64, 64) //tvq:coldalloc pool refill happens once per epoch
+}
+
+// Clean: a capture-free literal is a static function value.
+//
+//tvq:noalloc
+func (p *proc) StaticFunc() func(uint64) uint64 {
+	return func(v uint64) uint64 { return v + 1 }
+}
+
+// Clean: an unannotated function allocates freely.
+func (p *proc) SlowPath(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	return append(out, p.buf...)
+}

@@ -1,0 +1,323 @@
+// Package retainset flags engine state retaining a caller-owned object
+// set without taking a copy — the bug class behind PR 5's
+// result-lifetime sweep (the window buffer aliased reused ingest
+// storage and corrupted every generator's marks) and the contract PR 6
+// made explicit with vr.Frame.Owned.
+//
+// The rule: an expression of type objset.Set that is *borrowed* — a
+// non-receiver parameter, a frame's .Objects field reached from a
+// parameter, or a local alias of either — must not be stored into
+// state rooted at the method receiver or a package-level variable. A
+// store is fine when the value has been laundered through any call
+// (Clone, Compact, retainObjects, Intern, set algebra — every call
+// yields fresh or deliberately-transferred storage), when the frame's
+// .Objects was first overwritten with such a call's result, or when
+// the store is dominated by a check of the frame's Owned field (the
+// explicit ownership-transfer contract).
+//
+// The analysis is function-local and position-based rather than a true
+// dataflow: it trades soundness at the margins for diagnostics that
+// are cheap, deterministic and almost always right on this codebase's
+// idioms. //lint:ignore retainset <reason> suppresses a deliberate
+// retention.
+package retainset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tvq/internal/analysis"
+)
+
+const (
+	setType   = "tvq/internal/objset.Set"
+	frameType = "tvq/internal/vr.Frame"
+)
+
+// Analyzer flags borrowed object sets stored into engine state.
+var Analyzer = &analysis.Analyzer{
+	Name: "retainset",
+	Doc:  "flags caller-owned object sets retained by engine state without Clone/Compact or an Owned check",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcState carries the per-function borrow analysis.
+type funcState struct {
+	pass     *analysis.Pass
+	recv     types.Object          // method receiver, if any
+	borrowed map[types.Object]bool // params/locals whose Set (or contained Set) is caller-owned
+	// laundered maps an object (a frame variable) to the position after
+	// which its .Objects field holds an owned value (it was reassigned
+	// from a call result, e.g. f.Objects = retainObjects(f)).
+	laundered map[types.Object]token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	st := &funcState{
+		pass:      pass,
+		borrowed:  make(map[types.Object]bool),
+		laundered: make(map[types.Object]token.Pos),
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		st.recv = pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil {
+				st.borrowed[obj] = true
+			}
+		}
+	}
+
+	// First pass: propagate borrows into locals (x := f.Objects,
+	// range vars over borrowed slices) and record laundering
+	// reassignments (f.Objects = <call>).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // x, y := f() — call results are owned
+				}
+				rhs := n.Rhs[i]
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil && st.isBorrowedExpr(rhs, rhs.Pos()) {
+						st.borrowed[obj] = true
+					}
+					continue
+				}
+				// f.Objects = <call>: the frame now holds owned storage.
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Objects" {
+					if _, isCall := rhs.(*ast.CallExpr); isCall {
+						if base, ok := sel.X.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Uses[base]; obj != nil {
+								st.laundered[obj] = n.End()
+							}
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if st.rootIsBorrowed(n.X, n.X.Pos()) {
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						st.borrowed[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second pass: find stores of borrowed sets into receiver- or
+	// global-rooted state.
+	st.checkStores(fn.Body, false)
+}
+
+// checkStores walks stmts; ownedGuard is true inside an if-branch whose
+// condition consults a frame's .Owned field.
+func (st *funcState) checkStores(n ast.Node, ownedGuard bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.IfStmt:
+		guard := ownedGuard || mentionsOwned(n.Cond)
+		st.checkStores(n.Init, ownedGuard)
+		st.checkStores(n.Body, guard)
+		st.checkStores(n.Else, guard)
+		return
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			if i >= len(n.Rhs) {
+				break
+			}
+			if ownedGuard {
+				continue
+			}
+			if st.isStateRooted(lhs) && st.isBorrowedExpr(n.Rhs[i], n.Rhs[i].Pos()) {
+				st.pass.Reportf(n.Rhs[i].Pos(),
+					"borrowed object set stored into engine state without Clone/Compact or a Frame.Owned check")
+			}
+		}
+	case *ast.CallExpr:
+		// append(state.field, borrowed): retention through growth.
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 1 {
+			if !ownedGuard && st.isStateRooted(n.Args[0]) {
+				for _, arg := range n.Args[1:] {
+					if st.isBorrowedExpr(arg, arg.Pos()) {
+						st.pass.Reportf(arg.Pos(),
+							"borrowed object set appended to engine state without Clone/Compact or a Frame.Owned check")
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// A goroutine capturing a borrowed set outlives the call frame.
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && !ownedGuard {
+			st.checkCapture(lit)
+		}
+	}
+	// Generic traversal for every other node kind.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		switch c.(type) {
+		case *ast.IfStmt, *ast.AssignStmt, *ast.CallExpr, *ast.GoStmt:
+			st.checkStores(c, ownedGuard)
+			return false
+		}
+		return true
+	})
+}
+
+// checkCapture flags borrowed set variables referenced inside a func
+// literal that escapes (go statement).
+func (st *funcState) checkCapture(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := st.pass.TypesInfo.Uses[n]
+			if obj != nil && st.borrowed[obj] && typeString(obj.Type()) == setType {
+				st.pass.Reportf(n.Pos(),
+					"borrowed object set captured by an escaping goroutine without Clone/Compact")
+			}
+		case *ast.SelectorExpr:
+			if st.isBorrowedExpr(n, n.Pos()) {
+				st.pass.Reportf(n.Pos(),
+					"borrowed frame set captured by an escaping goroutine without Clone/Compact")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isBorrowedExpr reports whether e evaluates to a caller-owned object
+// set at position at: a borrowed Set-typed identifier, or a .Objects
+// selector on a borrowed frame that has not been laundered earlier in
+// the function.
+func (st *funcState) isBorrowedExpr(e ast.Expr, at token.Pos) bool {
+	if tv, ok := st.pass.TypesInfo.Types[e]; !ok || typeString(tv.Type) != setType {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[e]
+		return obj != nil && obj != st.recv && st.borrowed[obj]
+	case *ast.SelectorExpr:
+		// A chain like f.Objects or ff.Frame.Objects rooted at a
+		// borrowed, unlaundered variable.
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := st.pass.TypesInfo.Uses[root]
+		if obj == nil || obj == st.recv || !st.borrowed[obj] {
+			return false
+		}
+		if cleared, ok := st.laundered[obj]; ok && at > cleared {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// rootIsBorrowed reports whether the leftmost identifier of e is a
+// borrowed variable (used for ranging over parameter-owned frame
+// slices).
+func (st *funcState) rootIsBorrowed(e ast.Expr, at token.Pos) bool {
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := st.pass.TypesInfo.Uses[root]
+	return obj != nil && obj != st.recv && st.borrowed[obj]
+}
+
+// isStateRooted reports whether the expression's leftmost identifier
+// is the method receiver or a package-level variable: storage that
+// outlives the call.
+func (st *funcState) isStateRooted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if obj == st.recv {
+			return true
+		}
+		return isGlobal(obj)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := st.pass.TypesInfo.Uses[root]
+		if obj == nil {
+			return false
+		}
+		return obj == st.recv || isGlobal(obj)
+	}
+	return false
+}
+
+func isGlobal(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// rootIdent returns the leftmost identifier of a selector/index/deref
+// chain, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsOwned reports whether the condition consults a frame's Owned
+// field — the ownership-transfer contract check.
+func mentionsOwned(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "Owned" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, nil)
+}

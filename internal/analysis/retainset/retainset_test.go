@@ -1,0 +1,18 @@
+package retainset_test
+
+import (
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/retainset"
+)
+
+func TestRetainset(t *testing.T) {
+	findings := analysis.RunFixture(t, retainset.Analyzer, "testdata/src/a")
+	// The fixture's red cases must stay red: a weakened analyzer that
+	// stops seeing the PR 5 aliasing store or the PR 6 Owned contract
+	// fails here even if the want comments were edited away.
+	if len(findings) < 5 {
+		t.Fatalf("retainset found %d diagnostics on the fixture, want at least 5", len(findings))
+	}
+}

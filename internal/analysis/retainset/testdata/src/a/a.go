@@ -1,0 +1,90 @@
+// Package a is the retainset fixture: each "want" line models a real
+// retention bug; the clean functions pin the accepted idioms.
+package a
+
+import (
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+type gen struct {
+	window  map[vr.FrameID]objset.Set
+	current objset.Set
+	frames  []objset.Set
+}
+
+// Red case 1 — the PR 5 aliasing bug: the window buffer retains the
+// caller's frame set directly, so a reused ingest buffer corrupts
+// every state spawned from this frame.
+func (g *gen) ProcessAliased(f vr.Frame) {
+	g.window[f.FID] = f.Objects // want `borrowed object set stored into engine state`
+}
+
+// Red case 2 — the PR 6 contract: retaining without consulting
+// f.Owned. Decoder-owned frames may transfer storage, but only behind
+// the explicit Owned check.
+func (g *gen) RetainField(f vr.Frame) {
+	g.current = f.Objects // want `borrowed object set stored into engine state`
+}
+
+// Red case 3 — retention through growth: appending the borrowed set
+// to generator-owned storage aliases it just the same.
+func (g *gen) BufferSet(s objset.Set) {
+	g.frames = append(g.frames, s) // want `borrowed object set appended to engine state`
+}
+
+// Red case 4 — a local alias does not launder the borrow.
+func (g *gen) AliasThenStore(f vr.Frame) {
+	o := f.Objects
+	g.current = o // want `borrowed object set stored into engine state`
+}
+
+// Red case 5 — a goroutine capturing the borrowed set outlives the
+// Process call while the producer reuses the storage.
+func (g *gen) Publish(s objset.Set, out chan<- objset.Set) {
+	go func() {
+		out <- s // want `borrowed object set captured by an escaping goroutine`
+	}()
+}
+
+// Clean: cloning takes an owned copy (PR 5's fix).
+func (g *gen) ProcessCloned(f vr.Frame) {
+	g.window[f.FID] = f.Objects.Clone()
+}
+
+// Clean: the PR 6 ownership transfer — the Owned check dominates the
+// direct retention.
+func (g *gen) ProcessOwned(f vr.Frame) {
+	if f.Owned {
+		g.window[f.FID] = f.Objects
+	} else {
+		g.window[f.FID] = f.Objects.Clone()
+	}
+}
+
+// Clean: laundering the frame in place (the retainObjects idiom from
+// internal/core) makes later retention safe.
+func (g *gen) ProcessLaundered(f vr.Frame) {
+	f.Objects = retain(f)
+	g.window[f.FID] = f.Objects
+}
+
+// Clean: storing into a local map is not engine state.
+func (g *gen) LocalOnly(f vr.Frame) map[vr.FrameID]objset.Set {
+	local := map[vr.FrameID]objset.Set{}
+	local[f.FID] = f.Objects
+	return local
+}
+
+// Clean: a deliberate retention, suppressed with a reason.
+func (g *gen) Deliberate(s objset.Set) {
+	//lint:ignore retainset the caller guarantees s is never reused
+	g.current = s
+}
+
+func retain(f vr.Frame) objset.Set {
+	if f.Owned {
+		return objset.Compact(f.Objects)
+	}
+	return f.Objects.Clone()
+}

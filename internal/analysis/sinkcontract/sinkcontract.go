@@ -1,0 +1,266 @@
+// Package sinkcontract enforces the delivery lifecycle contract of the
+// session's sinks (PR 5): a sink must not receive Deliver calls after
+// it has been closed, and a channel-backed sink's channel may only be
+// sent on from inside its Deliver method — the counted in-flight path
+// that makes close-under-pending-send safe (ChanSink registers each
+// Deliver in an inflight counter before parking in its select, and
+// closeSink defers closing the channel to the last parked Deliver;
+// a send that bypasses that accounting can panic on a closed channel).
+//
+// Two rules:
+//
+//   - For every "channel sink" type — a type whose method set has
+//     Deliver and a close-like method (Close or closeSink) and that has
+//     a channel-typed struct field — a send statement on that field is
+//     flagged unless it appears inside the type's own Deliver method.
+//     And inside Deliver, when the type carries an in-flight counter
+//     (an int field named inflight), every send must come after the
+//     counter is incremented: an uncounted send races the close path,
+//     which sees inflight == 0 and closes the channel under the
+//     pending send. The unbound ChanSink.Deliver path had exactly this
+//     defect.
+//
+//   - A straight-line sequence that calls x.Close() or x.closeSink()
+//     and later calls x.Deliver(...) on the same expression within the
+//     same block is flagged.
+//
+// The check is structural (duck-typed), so sink implementations outside
+// the root package — test doubles, tvqd adapters — are held to the same
+// contract as ChanSink itself.
+package sinkcontract
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tvq/internal/analysis"
+)
+
+// Analyzer enforces the sink delivery lifecycle.
+var Analyzer = &analysis.Analyzer{
+	Name: "sinkcontract",
+	Doc:  "flags Deliver-after-Close and sink channel sends outside the counted Deliver path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	sinks := collectSinkTypes(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkChannelSends(pass, sinks, fn)
+			checkDeliverAfterClose(pass, fn.Body, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// sinkType describes one channel-backed sink found in the package.
+type sinkType struct {
+	named   *types.Named
+	fields  map[string]bool // channel-typed field names
+	counted bool            // has an in-flight counter field
+}
+
+// collectSinkTypes finds named struct types whose method set contains
+// Deliver and Close/closeSink and that carry a channel field.
+func collectSinkTypes(pass *analysis.Pass) []sinkType {
+	var out []sinkType
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if !hasMethod(named, pass.Pkg, "Deliver") || (!hasMethod(named, pass.Pkg, "Close") && !hasMethod(named, pass.Pkg, "closeSink")) {
+			continue
+		}
+		fields := map[string]bool{}
+		counted := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if _, ok := f.Type().Underlying().(*types.Chan); ok {
+				fields[f.Name()] = true
+			}
+			if f.Name() == "inflight" {
+				if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					counted = true
+				}
+			}
+		}
+		if len(fields) > 0 {
+			out = append(out, sinkType{named: named, fields: fields, counted: counted})
+		}
+	}
+	return out
+}
+
+// hasMethod resolves name on t's method set. pkg matters: unexported
+// methods (closeSink) are only visible when looked up from their own
+// package.
+func hasMethod(t types.Type, pkg *types.Package, name string) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, name)
+	if obj == nil {
+		return false
+	}
+	_, ok := obj.(*types.Func)
+	return ok
+}
+
+// checkChannelSends flags sends on a sink type's channel field outside
+// that type's Deliver method.
+func checkChannelSends(pass *analysis.Pass, sinks []sinkType, fn *ast.FuncDecl) {
+	inDeliver := func(s sinkType) bool {
+		if fn.Recv == nil || fn.Name.Name != "Deliver" || len(fn.Recv.List) != 1 {
+			return false
+		}
+		rt := pass.TypesInfo.Types[fn.Recv.List[0].Type].Type
+		return rt != nil && deref(rt) == s.named.Obj().Type()
+	}
+	// For counted sinks, find where Deliver first registers in flight:
+	// sends before that point are uncounted even inside Deliver.
+	firstRegister := token.NoPos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		if !ok || inc.Tok != token.INC {
+			return true
+		}
+		if sel, ok := inc.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "inflight" {
+			if !firstRegister.IsValid() || inc.Pos() < firstRegister {
+				firstRegister = inc.Pos()
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := send.Chan.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvType := pass.TypesInfo.Types[sel.X].Type
+		if recvType == nil {
+			return true
+		}
+		for _, s := range sinks {
+			if deref(recvType) != s.named.Obj().Type() || !s.fields[sel.Sel.Name] {
+				continue
+			}
+			switch {
+			case !inDeliver(s):
+				pass.Reportf(send.Pos(),
+					"send on %s.%s bypasses the counted in-flight Deliver path",
+					s.named.Obj().Name(), sel.Sel.Name)
+			case s.counted && (!firstRegister.IsValid() || send.Pos() < firstRegister):
+				pass.Reportf(send.Pos(),
+					"uncounted send on %s.%s: register in flight (inflight++) before sending so close cannot race the pending send",
+					s.named.Obj().Name(), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkDeliverAfterClose scans a block's statements in order, tracking
+// expressions that were closed; a later Deliver on the same expression
+// in the same straight-line sequence is a contract violation. Nested
+// blocks inherit a copy of the closed set (a close inside a branch does
+// not poison the code after the branch — that is beyond a straight-line
+// check's certainty).
+func checkDeliverAfterClose(pass *analysis.Pass, block *ast.BlockStmt, closed map[string]bool) {
+	for _, stmt := range block.List {
+		// Recurse into nested blocks with a copy of the current state.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if b, ok := n.(*ast.BlockStmt); ok {
+				inner := make(map[string]bool, len(closed))
+				for k := range closed {
+					inner[k] = true
+				}
+				checkDeliverAfterClose(pass, b, inner)
+				return false
+			}
+			return true
+		})
+		// Then record closes and flag delivers at this statement.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.BlockStmt); ok {
+				return false // handled above
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvType := pass.TypesInfo.Types[sel.X].Type
+			if recvType == nil || !hasMethod(recvType, pass.Pkg, "Deliver") {
+				return true
+			}
+			key := exprText(sel.X)
+			switch sel.Sel.Name {
+			case "Close", "closeSink":
+				closed[key] = true
+			case "Deliver":
+				if closed[key] {
+					pass.Reportf(call.Pos(),
+						"Deliver on %s after it was closed: the sink contract forbids delivery after Close", key)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func exprText(e ast.Expr) string {
+	var b strings.Builder
+	write(&b, e)
+	return b.String()
+}
+
+func write(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		write(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		write(b, x.X)
+		b.WriteByte('[')
+		write(b, x.Index)
+		b.WriteByte(']')
+	case *ast.ParenExpr:
+		write(b, x.X)
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		write(b, x.X)
+	default:
+		b.WriteString("?")
+	}
+}

@@ -1,0 +1,18 @@
+package sinkcontract_test
+
+import (
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/sinkcontract"
+)
+
+func TestSinkcontract(t *testing.T) {
+	findings := analysis.RunFixture(t, sinkcontract.Analyzer, "testdata/src/a")
+	// Two bypassing sends, one uncounted in-Deliver send (the real
+	// ChanSink unbound-path bug) and two Deliver-after-Close sequences:
+	// a weakened analyzer fails here even if want comments were edited.
+	if len(findings) < 5 {
+		t.Fatalf("sinkcontract found %d diagnostics on the fixture, want at least 5", len(findings))
+	}
+}

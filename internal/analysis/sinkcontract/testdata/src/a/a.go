@@ -1,0 +1,130 @@
+// Package a is the sinkcontract fixture: miniSink mirrors ChanSink's
+// counted in-flight machinery (an unexported channel, a Deliver that
+// registers before parking, a close that defers to pending sends).
+package a
+
+import "sync"
+
+type delivery struct{ v int }
+
+type miniSink struct {
+	ch chan delivery
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int
+}
+
+// Deliver is the one legitimate sender on s.ch: it counts itself in
+// flight so Close can coordinate with pending sends.
+func (s *miniSink) Deliver(d delivery) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.inflight++
+	s.mu.Unlock()
+	s.ch <- d
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+	return nil
+}
+
+// Close ends delivery.
+func (s *miniSink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Red case 1 — a helper method sending on the sink channel directly:
+// it skips the inflight count, so a concurrent Close can close the
+// channel under this send and panic.
+func (s *miniSink) flush(d delivery) {
+	s.ch <- d // want `send on miniSink.ch bypasses the counted in-flight Deliver path`
+}
+
+// Red case 2 — a free function reaching into the sink's channel.
+func inject(s *miniSink, d delivery) {
+	s.ch <- d // want `send on miniSink.ch bypasses the counted in-flight Deliver path`
+}
+
+// leakySink mirrors the uncounted unbound-path bug found in
+// ChanSink.Deliver: a fast path that sends before registering in
+// flight, so a concurrent Close sees inflight == 0 and closes the
+// channel under the pending send.
+type leakySink struct {
+	ch chan delivery
+
+	mu       sync.Mutex
+	closed   bool
+	inflight int
+}
+
+// Red case 3 — the send happens before inflight++: uncounted.
+func (s *leakySink) Deliver(d delivery) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+	s.ch <- d // want `uncounted send on leakySink.ch`
+	s.mu.Lock()
+	s.inflight++
+	s.inflight--
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *leakySink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// Red case 4 — Deliver after Close in straight line: deliveries after
+// close are silently dropped at best, a closed-channel panic at worst.
+func shutdownThenDeliver(s *miniSink, d delivery) {
+	s.Close()
+	_ = s.Deliver(d) // want `Deliver on s after it was closed`
+}
+
+// Red case 5 — the same violation through a field path.
+type holder struct{ sink *miniSink }
+
+func (h *holder) stop(d delivery) {
+	h.sink.Close()
+	_ = h.sink.Deliver(d) // want `Deliver on h.sink after it was closed`
+}
+
+// Clean: deliver first, then close.
+func deliverThenShutdown(s *miniSink, d delivery) {
+	_ = s.Deliver(d)
+	s.Close()
+}
+
+// Clean: a close inside one branch does not poison the straight line
+// after the branch.
+func conditionalClose(s *miniSink, d delivery, done bool) {
+	if done {
+		s.Close()
+		return
+	}
+	_ = s.Deliver(d)
+}
+
+// Clean: a channel on a non-sink type may be sent on freely.
+type plainQueue struct{ ch chan delivery }
+
+func (q *plainQueue) push(d delivery) {
+	q.ch <- d
+}
+
+// Clean: a reviewed direct send, suppressed with a reason.
+func primeBuffer(s *miniSink, d delivery) {
+	//lint:ignore sinkcontract the sink is not yet bound to a subscription
+	s.ch <- d
+}

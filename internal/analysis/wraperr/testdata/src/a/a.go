@@ -1,0 +1,75 @@
+// Package a is the wraperr fixture: sentinel misuse on both local
+// sentinels and the module's real ones (vr.ErrTruncated).
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"tvq/internal/vr"
+)
+
+// ErrStale and ErrTooLarge are this package's sentinels.
+var (
+	ErrStale    = errors.New("a: snapshot is stale")
+	ErrTooLarge = errors.New("a: batch too large")
+)
+
+// Red case 1 — %v flattens the sentinel: callers can no longer use
+// errors.Is(err, ErrStale).
+func Refresh(age int) error {
+	if age > 10 {
+		return fmt.Errorf("refresh after %d frames: %v", age, ErrStale) // want `sentinel ErrStale formatted with %v loses its identity`
+	}
+	return nil
+}
+
+// Red case 2 — %s on an imported sentinel is the same bug across a
+// package boundary.
+func Decode(n int) error {
+	if n == 0 {
+		return fmt.Errorf("decoding frame %d: %s", n, vr.ErrTruncated) // want `sentinel ErrTruncated formatted with %s loses its identity`
+	}
+	return nil
+}
+
+// Red case 3 — Sprintf bakes the sentinel into a plain string.
+func Describe() string {
+	return fmt.Sprintf("failed: %v", ErrTooLarge) // want `sentinel ErrTooLarge stringified by Sprintf`
+}
+
+// Red case 4 — Error() drops the identity before rewrapping.
+func Rewrap() error {
+	return errors.New("wrapped: " + ErrStale.Error()) // want `Error\(\) flattens sentinel ErrStale to text`
+}
+
+// Red case 5 — Sprint is stringification too.
+func Log() string {
+	return fmt.Sprint("saw ", ErrStale) // want `sentinel ErrStale stringified by Sprint`
+}
+
+// Clean: %w keeps the chain intact.
+func WrapOK(n int) error {
+	return fmt.Errorf("decoding frame %d: %w", n, vr.ErrTruncated)
+}
+
+// Clean: returning the sentinel directly.
+func DirectOK() error {
+	return ErrStale
+}
+
+// Clean: comparing, not formatting.
+func IsStale(err error) bool {
+	return errors.Is(err, ErrStale)
+}
+
+// Clean: a non-sentinel local error may be stringified.
+func LocalOK(err error) string {
+	return fmt.Sprintf("op failed: %v", err)
+}
+
+// Clean: a deliberate flattening at a display boundary, suppressed.
+func DisplayOK() string {
+	//lint:ignore wraperr terminal UI line, never matched programmatically
+	return fmt.Sprintf("status: %v", ErrTooLarge)
+}

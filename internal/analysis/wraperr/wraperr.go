@@ -1,0 +1,183 @@
+// Package wraperr keeps the module's sentinel errors matchable:
+// a sentinel (a package-level var named Err*, e.g. ErrDuplicateQuery,
+// ErrSnapshotMismatch, vr.ErrTruncated) must be returned directly or
+// wrapped with %w — never flattened to text. Stringifying a sentinel
+// (fmt.Errorf with %v/%s, fmt.Sprintf, calling .Error()) produces an
+// error that looks the same but no longer satisfies errors.Is, which
+// breaks the retry/compat decisions tvqclient and the daemon make on
+// exactly these sentinels.
+package wraperr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"tvq/internal/analysis"
+)
+
+// Analyzer flags stringified sentinel errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "wraperr",
+	Doc:  "flags sentinel errors flattened to text instead of wrapped with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// sentinel.Error(): explicit stringification.
+	if sel.Sel.Name == "Error" && len(call.Args) == 0 {
+		if name, ok := sentinelName(pass, sel.X); ok {
+			pass.Reportf(call.Pos(),
+				"Error() flattens sentinel %s to text: wrap with %%w or compare with errors.Is", name)
+		}
+		return
+	}
+	// fmt.Errorf / fmt.Sprintf / fmt.Sprint / fmt.Sprintln.
+	if !isFmtCall(pass, sel) {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Errorf":
+		verbs := formatVerbs(pass, call, 0)
+		for i, arg := range call.Args[1:] {
+			name, ok := sentinelName(pass, arg)
+			if !ok {
+				continue
+			}
+			if v, known := verbs[i]; known && v != 'w' {
+				pass.Reportf(arg.Pos(),
+					"sentinel %s formatted with %%%c loses its identity: use %%w so errors.Is still matches", name, v)
+			}
+		}
+	case "Sprintf":
+		for _, arg := range call.Args[1:] {
+			if name, ok := sentinelName(pass, arg); ok {
+				pass.Reportf(arg.Pos(),
+					"sentinel %s stringified by Sprintf: wrap with fmt.Errorf and %%w instead", name)
+			}
+		}
+	case "Sprint", "Sprintln":
+		for _, arg := range call.Args {
+			if name, ok := sentinelName(pass, arg); ok {
+				pass.Reportf(arg.Pos(),
+					"sentinel %s stringified by %s: wrap with fmt.Errorf and %%w instead", name, sel.Sel.Name)
+			}
+		}
+	}
+}
+
+// sentinelName reports whether e references a sentinel error: a
+// package-level var named Err* whose type satisfies error.
+func sentinelName(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	name := v.Name()
+	if len(name) < 4 || name[:3] != "Err" {
+		return "", false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !types.Implements(v.Type(), errIface) {
+		return "", false
+	}
+	return name, true
+}
+
+func isFmtCall(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "fmt"
+}
+
+// formatVerbs parses the constant format string at argument position
+// fmtArg and maps each consumed argument index (relative to the first
+// variadic argument) to its verb. Returns nil when the format is not a
+// known constant or uses explicit argument indexes.
+func formatVerbs(pass *analysis.Pass, call *ast.CallExpr, fmtArg int) map[int]rune {
+	if len(call.Args) <= fmtArg {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[fmtArg]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := map[int]rune{}
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// Flags.
+		for i < len(runes) && (runes[i] == '+' || runes[i] == '-' || runes[i] == '#' || runes[i] == ' ' || runes[i] == '0') {
+			i++
+		}
+		// Width.
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		switch runes[i] {
+		case '%':
+			// literal percent, consumes nothing
+		case '[':
+			return nil // explicit argument indexes: out of scope
+		default:
+			verbs[arg] = runes[i]
+			arg++
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,18 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/wraperr"
+)
+
+func TestWraperr(t *testing.T) {
+	findings := analysis.RunFixture(t, wraperr.Analyzer, "testdata/src/a")
+	// Five distinct stringifications (two Errorf verbs, Sprintf, Sprint,
+	// Error()): a weakened analyzer fails here even without the want
+	// comments.
+	if len(findings) < 5 {
+		t.Fatalf("wraperr found %d diagnostics on the fixture, want at least 5", len(findings))
+	}
+}

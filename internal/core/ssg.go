@@ -150,6 +150,8 @@ func (g *SSG) newNode(objects objset.Set, createdAt vr.FrameID) *ssgNode {
 
 // Process implements Generator: one round of the ST algorithm followed by
 // CNPS and result-set maintenance (§4.3.7).
+//
+//tvq:noalloc
 func (g *SSG) Process(f vr.Frame) []*State {
 	if f.FID != g.next {
 		panic("core: frames must be processed in order starting at 0")

@@ -340,6 +340,8 @@ type Generator interface {
 // otherwise returns the set unchanged, costing nothing), or a clone
 // when the frame is borrowed and its storage still belongs to the
 // caller.
+//
+//tvq:noalloc
 func retainObjects(f vr.Frame) objset.Set {
 	if f.Owned {
 		return objset.Compact(f.Objects)
@@ -386,6 +388,8 @@ type emitGroup struct {
 
 // emit filters states and returns the result set. The returned slice and
 // its ordering are only valid until the next emit call on this emitter.
+//
+//tvq:noalloc
 func (e *emitter) emit(states []*State, duration int, checkMarks bool) []*State {
 	if e.byHash == nil {
 		e.byHash = make(map[uint64]int32)

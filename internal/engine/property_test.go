@@ -31,10 +31,10 @@ func TestMatchesSurviveCodecRoundTrip(t *testing.T) {
 			reg := vr.StandardRegistry()
 
 			var jsonl bytes.Buffer
-			if err := vr.WriteJSONL(&jsonl, tr, reg); err != nil {
+			if err := vr.JSONL.WriteTrace(&jsonl, tr, reg); err != nil {
 				t.Fatal(err)
 			}
-			fromJSONL, err := vr.ReadJSONL(&jsonl, vr.StandardRegistry())
+			fromJSONL, err := vr.JSONL.ReadTrace(&jsonl, vr.StandardRegistry())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -83,10 +83,10 @@ func TestEmptyTraceRoundTrips(t *testing.T) {
 	reg := vr.StandardRegistry()
 
 	var jsonl bytes.Buffer
-	if err := vr.WriteJSONL(&jsonl, empty, reg); err != nil {
+	if err := vr.JSONL.WriteTrace(&jsonl, empty, reg); err != nil {
 		t.Fatal(err)
 	}
-	back, err := vr.ReadJSONL(&jsonl, reg)
+	back, err := vr.JSONL.ReadTrace(&jsonl, reg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,8 @@ func (in *Interner) Of(h Handle) Set { return in.sets[h] }
 func (in *Interner) Cap() int { return len(in.sets) }
 
 // Lookup returns the handle of s if it is interned. It never allocates.
+//
+//tvq:noalloc
 func (in *Interner) Lookup(s Set) (Handle, bool) {
 	h := s.Hash()
 	i := h & in.mask
@@ -79,6 +81,8 @@ func (in *Interner) Lookup(s Set) (Handle, bool) {
 // retained, so Scratch-backed sets may be interned directly. Interning
 // the empty set is not supported and panics: generators never key state
 // on it, and reserving it would cost every lookup a branch.
+//
+//tvq:noalloc
 func (in *Interner) Intern(s Set) (handle Handle, created bool) {
 	if s.IsEmpty() {
 		panic("objset: cannot intern the empty set")
@@ -126,6 +130,8 @@ func (in *Interner) Intern(s Set) (handle Handle, created bool) {
 // never allocates (the freelist append is amortized). Releasing a
 // handle twice, or one never issued, corrupts the table; the caller
 // pairs each Release with the death of the state that owned the handle.
+//
+//tvq:noalloc
 func (in *Interner) Release(h Handle) {
 	s := in.sets[h]
 	hs := s.Hash()

@@ -268,6 +268,8 @@ func (s Set) Equal(t Set) bool {
 // (a proper prefix sorts first). It is a total order consistent with
 // Equal, identical for both representations, and allocation-free — the
 // comparator emit-time sorting uses instead of building Key strings.
+//
+//tvq:noalloc
 func Compare(s, t Set) int {
 	if s.words == nil && t.words == nil {
 		a, b := s.ids, t.ids
@@ -392,6 +394,8 @@ type Scratch struct {
 // returned Set aliases b's storage: it is valid only until b is used
 // again, and must be copied with Clone (or interned) to be retained. In
 // steady state it performs no allocations.
+//
+//tvq:noalloc
 func (s Set) IntersectInto(t Set, b *Scratch) Set {
 	switch {
 	case s.IsEmpty() || t.IsEmpty():
@@ -469,6 +473,8 @@ func (s Set) IntersectInto(t Set, b *Scratch) Set {
 }
 
 // IntersectLen returns |s ∩ t| without allocating.
+//
+//tvq:noalloc
 func (s Set) IntersectLen(t Set) int {
 	switch {
 	case s.IsEmpty() || t.IsEmpty():
@@ -517,6 +523,8 @@ func (s Set) IntersectLen(t Set) int {
 
 // Intersects reports whether s ∩ t is non-empty, with early exit on the
 // first common member. It never allocates.
+//
+//tvq:noalloc
 func (s Set) Intersects(t Set) bool {
 	switch {
 	case s.IsEmpty() || t.IsEmpty():
@@ -745,6 +753,8 @@ func (s Set) Minus(t Set) Set {
 }
 
 // SubsetOf reports whether s ⊆ t. It never allocates.
+//
+//tvq:noalloc
 func (s Set) SubsetOf(t Set) bool {
 	if s.Len() > t.Len() {
 		return false
@@ -814,6 +824,8 @@ func hashID(h uint64, id ID) uint64 {
 
 // Hash returns a 64-bit FNV-1a hash of the set contents, identical for
 // both representations. It never allocates.
+//
+//tvq:noalloc
 func (s Set) Hash() uint64 {
 	h := uint64(fnvOffset64)
 	if s.words == nil {

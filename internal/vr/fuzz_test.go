@@ -66,17 +66,17 @@ func FuzzReadTraceJSONL(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, input string) {
 		reg := StandardRegistry()
-		tr, err := ReadJSONL(strings.NewReader(input), reg)
+		tr, err := JSONL.ReadTrace(strings.NewReader(input), reg)
 		if err != nil {
 			return
 		}
 		var buf bytes.Buffer
-		if err := WriteJSONL(&buf, tr, reg); err != nil {
+		if err := JSONL.WriteTrace(&buf, tr, reg); err != nil {
 			t.Fatalf("re-encode of accepted input failed: %v", err)
 		}
 		// JSONL preserves frame structure exactly: decode the re-encoding
 		// and require identical tuples and frame count.
-		back, err := ReadJSONL(&buf, reg)
+		back, err := JSONL.ReadTrace(&buf, reg)
 		if err != nil {
 			t.Fatalf("decode of re-encoding failed: %v", err)
 		}

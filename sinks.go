@@ -83,24 +83,29 @@ func (c *ChanSink) Deliver(d Delivery) error {
 		c.mu.Unlock()
 		return nil
 	}
-	if c.subDone == nil {
-		// Unbound (used outside a session): plain blocking send.
-		c.mu.Unlock()
-		c.ch <- d
-		return nil
-	}
-	// Register as in flight before parking in the select: closeSink may
+	// Register as in flight before parking in the send: closeSink may
 	// run concurrently (Subscription.Cancel closes the sink from the
 	// consumer's goroutine while this Deliver is blocked on a full
 	// buffer) and must not close ch under a pending send. It defers the
 	// close to this goroutine instead; the cancel path has already
-	// closed subDone, so the select cannot stay parked.
+	// closed subDone, so the select cannot stay parked. The unbound
+	// path (used outside a session) rides the same accounting: it used
+	// to send without registering, so a closeSink racing a parked
+	// Deliver saw inflight == 0 and closed the channel under the
+	// pending send — a send-on-closed-channel panic instead of the
+	// documented dropped delivery.
 	c.inflight++
 	c.mu.Unlock()
-	select {
-	case c.ch <- d:
-	case <-c.subDone:
-	case <-c.sesDone:
+	if c.subDone == nil {
+		// Unbound: plain blocking send, no cancellation channels to
+		// select on.
+		c.ch <- d
+	} else {
+		select {
+		case c.ch <- d:
+		case <-c.subDone:
+		case <-c.sesDone:
+		}
 	}
 	c.mu.Lock()
 	c.inflight--

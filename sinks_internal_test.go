@@ -1,0 +1,63 @@
+package tvq
+
+import (
+	"testing"
+	"time"
+)
+
+// TestUnboundChanSinkCloseWithParkedDeliver is the regression test for
+// the uncounted-send bug tvqlint's sinkcontract analyzer flagged in
+// Deliver's unbound path: the send skipped the in-flight registration,
+// so a closeSink racing a Deliver parked on a full buffer saw
+// inflight == 0 and closed the channel under the pending send — a
+// send-on-closed-channel panic instead of the documented drop. With
+// the fix, the close is deferred to the parked sender: the delivery
+// lands, no panic, and the channel closes once the sender returns.
+func TestUnboundChanSinkCloseWithParkedDeliver(t *testing.T) {
+	c := NewChanSink(0) // unbuffered: Deliver parks until a reader arrives
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		_ = c.Deliver(Delivery{FID: 7})
+	}()
+
+	// Wait for the sender to register in flight. Before the fix the
+	// unbound path never registered, so this loop falls through on the
+	// deadline and closeSink races the parked send.
+	deadline := time.Now().Add(time.Second)
+	for {
+		c.mu.Lock()
+		parked := c.inflight == 1
+		c.mu.Unlock()
+		if parked || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.closeSink()
+
+	if d, ok := <-c.C(); !ok || d.FID != 7 {
+		t.Fatalf("parked delivery lost: got (%+v, %v), want FID 7", d, ok)
+	}
+	if p := <-panicked; p != nil {
+		t.Fatalf("Deliver panicked on close: %v", p)
+	}
+	if _, ok := <-c.C(); ok {
+		t.Fatal("channel still open after the parked send completed")
+	}
+}
+
+// TestUnboundChanSinkDeliverAfterClose pins the documented drop
+// behavior on the unbound path: once closed, Deliver returns without
+// sending or panicking.
+func TestUnboundChanSinkDeliverAfterClose(t *testing.T) {
+	c := NewChanSink(1)
+	c.closeSink()
+	if err := c.Deliver(Delivery{FID: 1}); err != nil {
+		t.Fatalf("Deliver after close: %v", err)
+	}
+	if _, ok := <-c.C(); ok {
+		t.Fatal("delivery leaked through a closed sink")
+	}
+}

@@ -171,6 +171,9 @@ func NewEngine(queries []Query, opts Options) (*Engine, error) {
 // class names must agree with the recording) and, when opts.Method is
 // set, a cross-check against the recorded method. Corrupted, truncated
 // or version-mismatched snapshots return a descriptive error.
+//
+// Deprecated: use Resume, which restores engine, pool and session
+// snapshots alike (including live subscriptions).
 func RestoreEngine(r io.Reader, opts Options) (*Engine, error) {
 	return engine.Restore(r, opts)
 }
@@ -278,10 +281,12 @@ func ReadTraceCSV(r io.Reader, reg *Registry) (*Trace, error) { return vr.ReadCS
 func WriteTraceCSV(w io.Writer, t *Trace, reg *Registry) error { return vr.WriteCSV(w, t, reg) }
 
 // ReadTraceJSONL decodes a trace from JSON Lines (one frame per line).
-func ReadTraceJSONL(r io.Reader, reg *Registry) (*Trace, error) { return vr.ReadJSONL(r, reg) }
+func ReadTraceJSONL(r io.Reader, reg *Registry) (*Trace, error) { return vr.JSONL.ReadTrace(r, reg) }
 
 // WriteTraceJSONL encodes a trace as JSON Lines.
-func WriteTraceJSONL(w io.Writer, t *Trace, reg *Registry) error { return vr.WriteJSONL(w, t, reg) }
+func WriteTraceJSONL(w io.Writer, t *Trace, reg *Registry) error {
+	return vr.JSONL.WriteTrace(w, t, reg)
+}
 
 // ReadTraceBinary decodes a trace from the binary wire format (see the
 // README's wire-protocol section).

@@ -2,6 +2,7 @@ package tvq_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -49,13 +50,18 @@ func TestEndToEndPipeline(t *testing.T) {
 		tvq.MustQuery(1, "person >= 1", 30, 15),
 		tvq.MustQuery(2, "person >= 2 AND car >= 1", 30, 10),
 	}
-	eng, err := tvq.NewEngine(queries, tvq.Options{Registry: reg})
+	ses, err := tvq.Open(context.Background(), tvq.WithQueries(queries...), tvq.WithRegistry(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ses.Close()
 	total := 0
 	for _, f := range trace.Frames() {
-		total += len(eng.ProcessFrame(f))
+		matches, err := ses.ProcessFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(matches)
 	}
 	if total == 0 {
 		t.Fatal("pipeline produced no matches on a pedestrian-heavy dataset")
@@ -83,24 +89,30 @@ func TestPoolFacade(t *testing.T) {
 			t.Fatal(err)
 		}
 		traces = append(traces, trace)
-		eng, err := tvq.NewEngine(queries, tvq.Options{Registry: reg})
+		single, err := tvq.Open(context.Background(), tvq.WithQueries(queries...), tvq.WithRegistry(reg))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, f := range trace.Frames() {
-			want[tvq.FeedID(feed)] += len(eng.ProcessFrame(f))
+			matches, err := single.ProcessFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[tvq.FeedID(feed)] += len(matches)
 		}
+		single.Close()
 	}
 
-	pool, err := tvq.NewPool(queries, tvq.PoolOptions{
-		Workers: 2,
-		Mode:    tvq.ShardByFeed,
-		Engine:  tvq.Options{Registry: reg},
-	})
+	ses, err := tvq.Open(context.Background(),
+		tvq.WithQueries(queries...),
+		tvq.WithRegistry(reg),
+		tvq.WithWorkers(2),
+		tvq.WithShardMode(tvq.ShardByFeed),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer pool.Close()
+	defer ses.Close()
 
 	var batch []tvq.FeedFrame
 	for fi := 0; fi < p.Frames; fi++ {
@@ -110,8 +122,12 @@ func TestPoolFacade(t *testing.T) {
 			}
 		}
 	}
+	results, err := ses.Process(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got := make(map[tvq.FeedID]int)
-	for _, r := range pool.ProcessBatch(batch) {
+	for _, r := range results {
 		got[r.Feed] += len(r.Matches)
 	}
 	for feed, n := range want {
@@ -122,6 +138,80 @@ func TestPoolFacade(t *testing.T) {
 	if want[0] == 0 {
 		t.Error("workload produced no matches; test is vacuous")
 	}
+}
+
+// TestDeprecatedV1Shims keeps the deprecated v1 constructors exercised
+// after the rest of the tests migrated to Open/Resume: the shims remain
+// part of the public surface and must keep delegating correctly. Each
+// deprecated call is individually suppressed; everything else in the
+// module is expected to be SA1019-clean.
+func TestDeprecatedV1Shims(t *testing.T) {
+	reg := tvq.StandardRegistry()
+	p, _ := tvq.DatasetByName("M1")
+	p.Frames = 60
+	p.Objects = 20
+	trace, err := tvq.GenerateDataset(p, 7, tvq.Noise{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []tvq.Query{tvq.MustQuery(1, "person >= 1", 30, 15)}
+
+	//lint:ignore SA1019 shim-coverage: the v1 constructor must keep working
+	eng, err := tvq.NewEngine(queries, tvq.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, f := range trace.Frames() {
+		total += len(eng.ProcessFrame(f))
+	}
+	if total == 0 {
+		t.Fatal("v1 engine shim produced no matches")
+	}
+	var snap bytes.Buffer
+	if err := eng.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1019 shim-coverage: v1 snapshot restore must keep working
+	if _, err := tvq.RestoreEngine(&snap, tvq.Options{Registry: reg}); err != nil {
+		t.Fatal(err)
+	}
+
+	//lint:ignore SA1019 shim-coverage: the v1 pool constructor must keep working
+	pool, err := tvq.NewPool(queries, tvq.PoolOptions{
+		Workers: 2,
+		Mode:    tvq.ShardByFeed,
+		Engine:  tvq.Options{Registry: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []tvq.FeedFrame
+	for _, f := range trace.Frames() {
+		batch = append(batch, tvq.FeedFrame{Feed: 0, Frame: f})
+	}
+	pooled := 0
+	for _, r := range pool.ProcessBatch(batch) {
+		pooled += len(r.Matches)
+	}
+	if pooled != total {
+		t.Fatalf("v1 pool shim found %d matches, engine %d", pooled, total)
+	}
+	var psnap bytes.Buffer
+	if err := pool.Snapshot(&psnap); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	//lint:ignore SA1019 shim-coverage: v1 pool restore must keep working
+	restored, err := tvq.RestorePool(&psnap, tvq.PoolOptions{
+		Workers: 2,
+		Mode:    tvq.ShardByFeed,
+		Engine:  tvq.Options{Registry: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
 }
 
 func TestTraceRoundTripThroughFacade(t *testing.T) {
