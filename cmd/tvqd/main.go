@@ -33,7 +33,12 @@
 // answered 415. Frames of a feed must arrive in order; a gap or replay
 // is answered 409 with the expected frame id in next_fid, and ingest
 // bursts beyond -max-queue waiting batches are answered 429
-// (backpressure, not loss).
+// (backpressure, not loss). A session created with "disorder": k (or
+// the boot -disorder flag) instead absorbs batches whose frames are
+// displaced by up to k positions, reassembling them in order; frames
+// beyond the bound hit the session's late policy (-late-policy drop or
+// error) and are counted in the tvq_late_frames_total metric, with the
+// current buffer occupancy in the tvq_reorder_depth gauge.
 //
 // With -checkpoint-dir every session snapshots to <dir>/<name>.tvqsnap
 // on the -every cadence and once at shutdown; a restarted daemon
@@ -76,6 +81,8 @@ func main() {
 		workers      = flag.Int("workers", 1, "engine shards for the boot session; above 1 runs a pooled session")
 		shard        = flag.String("shard", "feed", "pool sharding for the boot session: feed (multi-camera) or group (window groups)")
 		windowMode   = flag.String("window-mode", "sliding", "window semantics: sliding or tumbling")
+		disorder     = flag.Int("disorder", 0, "boot session: absorb ingest batches displaced up to this many frames (0 = strict order)")
+		latePolicy   = flag.String("late-policy", "", "boot session: what happens to frames beyond the disorder bound: drop or error")
 		session      = flag.String("session", "default", "name of the boot session (also the ?session= default)")
 		ckDir        = flag.String("checkpoint-dir", "", "snapshot sessions to <dir>/<name>.tvqsnap and resume from them on restart")
 		every        = flag.String("every", "1000", "checkpoint cadence: a frame count (\"500\") or a wall-clock duration (\"30s\")")
@@ -90,6 +97,7 @@ func main() {
 	if err := run(cfg{
 		addr: *addr, queries: queries, window: *window, duration: *duration,
 		method: *method, workers: *workers, shard: *shard, windowMode: *windowMode,
+		disorder: *disorder, latePolicy: *latePolicy,
 		session: *session, ckDir: *ckDir, every: *every,
 		maxQueue: *maxQueue, streamBuffer: *streamBuffer,
 		heartbeat: *heartbeat, drain: *drain,
@@ -105,6 +113,8 @@ type cfg struct {
 	window, duration          int
 	method, shard, windowMode string
 	workers                   int
+	disorder                  int
+	latePolicy                string
 	session, ckDir, every     string
 	maxQueue, streamBuffer    int
 	heartbeat, drain          time.Duration
@@ -131,6 +141,7 @@ func run(c cfg) error {
 	if c.workers > 1 {
 		params.Workers, params.Shard = c.workers, c.shard
 	}
+	params.Disorder, params.LatePolicy = c.disorder, c.latePolicy
 	var err error
 	params.Queries, err = parseQueries(c.queries, c.window, c.duration)
 	if err != nil {

@@ -9,6 +9,7 @@
 //	tvqgen -dataset M1 -format binary -o m1.tvqf   # binary wire format
 //	tvqgen -frames 2000 -objects 150 -fpo 60 -opo 4 -o custom.csv
 //	tvqgen -dataset V1 -stats            # print Table 6 statistics only
+//	tvqgen -dataset V1 -disorder 4 -format jsonl -o v1-shuffled.jsonl
 package main
 
 import (
@@ -21,32 +22,40 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "", "standard dataset profile (V1, V2, D1, D2, M1, M2); empty = custom profile from -frames/-objects/-fpo/-opo")
-		frames  = flag.Int("frames", 1000, "custom profile: total frames")
-		objects = flag.Int("objects", 100, "custom profile: unique objects")
-		fpo     = flag.Float64("fpo", 50, "custom profile: mean frames per object")
-		opo     = flag.Float64("opo", 3, "custom profile: mean occlusions per object")
-		moving  = flag.Bool("moving", false, "custom profile: moving-camera arrival bursts")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		po      = flag.Int("po", 0, "occlusion parameter: reuse each object id up to po times")
-		miss    = flag.Float64("miss", 0, "tracker noise: per-object-frame detection miss probability")
-		swtch   = flag.Float64("switch", 0, "tracker noise: per-object-frame identity switch probability")
-		fp      = flag.Float64("fp", 0, "tracker noise: expected false positives per frame")
-		format  = flag.String("format", "csv", "output format: csv, jsonl or binary")
-		out     = flag.String("o", "-", "output path; - for stdout")
-		stats   = flag.Bool("stats", false, "print dataset statistics instead of the trace")
+		dataset  = flag.String("dataset", "", "standard dataset profile (V1, V2, D1, D2, M1, M2); empty = custom profile from -frames/-objects/-fpo/-opo")
+		frames   = flag.Int("frames", 1000, "custom profile: total frames")
+		objects  = flag.Int("objects", 100, "custom profile: unique objects")
+		fpo      = flag.Float64("fpo", 50, "custom profile: mean frames per object")
+		opo      = flag.Float64("opo", 3, "custom profile: mean occlusions per object")
+		moving   = flag.Bool("moving", false, "custom profile: moving-camera arrival bursts")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		po       = flag.Int("po", 0, "occlusion parameter: reuse each object id up to po times")
+		miss     = flag.Float64("miss", 0, "tracker noise: per-object-frame detection miss probability")
+		swtch    = flag.Float64("switch", 0, "tracker noise: per-object-frame identity switch probability")
+		fp       = flag.Float64("fp", 0, "tracker noise: expected false positives per frame")
+		format   = flag.String("format", "csv", "output format: csv, jsonl or binary")
+		out      = flag.String("o", "-", "output path; - for stdout")
+		stats    = flag.Bool("stats", false, "print dataset statistics instead of the trace")
+		disorder = flag.Int("disorder", 0, "emit frames in a bounded-shuffle order: no frame displaced more than this many positions (jsonl/binary only)")
 	)
 	flag.Parse()
 
 	if err := run(*dataset, *frames, *objects, *fpo, *opo, *moving, *seed, *po,
-		*miss, *swtch, *fp, *format, *out, *stats); err != nil {
+		*miss, *swtch, *fp, *format, *out, *stats, *disorder); err != nil {
 		fmt.Fprintln(os.Stderr, "tvqgen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset string, frames, objects int, fpo, opo float64, moving bool,
-	seed int64, po int, miss, swtch, fp float64, format, out string, stats bool) error {
+	seed int64, po int, miss, swtch, fp float64, format, out string, stats bool, disorder int) error {
+
+	if disorder < 0 {
+		return fmt.Errorf("-disorder %d: bound must be non-negative", disorder)
+	}
+	if disorder > 0 && format == "csv" {
+		return fmt.Errorf("-disorder needs a frame-stream format (jsonl or binary); csv is row-per-tuple and has no frame order to shuffle")
+	}
 
 	var profile tvq.Profile
 	if dataset != "" {
@@ -96,8 +105,25 @@ func run(dataset string, frames, objects int, fpo, opo float64, moving bool,
 	if format == "csv" {
 		return tvq.WriteTraceCSV(w, trace, reg)
 	}
-	if codec, ok := tvq.CodecByName(format); ok {
+	codec, ok := tvq.CodecByName(format)
+	if !ok {
+		return fmt.Errorf("unknown format %q (want csv, jsonl or binary)", format)
+	}
+	if disorder == 0 {
 		return codec.WriteTrace(w, trace, reg)
 	}
-	return fmt.Errorf("unknown format %q (want csv, jsonl or binary)", format)
+	// Bounded-shuffle emission: the frame stream arrives displaced by at
+	// most -disorder positions — the arrival pattern a session opened
+	// with WithDisorderBound(disorder) reassembles exactly. The shuffle
+	// reuses the generation seed, so a trace and its disordered emission
+	// are reproducible together. Disordered streams are for the
+	// streaming consumers (ingest, cmd/tvq -stream); the whole-trace
+	// readers reject them by design.
+	fw := codec.NewFrameWriter(w, reg)
+	for _, f := range tvq.BoundedShuffle(trace.Frames(), disorder, seed) {
+		if err := fw.WriteFrame(f); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
 }

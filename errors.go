@@ -5,6 +5,8 @@ import (
 
 	"tvq/internal/cnf"
 	"tvq/internal/engine"
+	"tvq/internal/reorder"
+	"tvq/internal/vr"
 )
 
 // Typed errors of the public API. Sentinels are shared with the internal
@@ -28,6 +30,21 @@ var (
 	// disagrees with the restore request: wrong state kind, method,
 	// registry, worker count, shard mode or batch size.
 	ErrSnapshotMismatch = engine.ErrSnapshotMismatch
+
+	// ErrLateFrame reports a frame the disorder bound could not absorb
+	// on a session configured with WithLatePolicy(LateError): the frame
+	// arrived at or below its feed's watermark, duplicated a buffered
+	// frame, or left a gap that can no longer fill within the bound.
+	// The wrapped *LateFrameError carries the offending and watermark
+	// frame ids.
+	ErrLateFrame = reorder.ErrLate
+
+	// ErrDisordered reports frame ids out of strictly increasing order
+	// in a whole-trace reader (ReadTraceJSONL, ReadTraceBinary). Trace
+	// files are canonical artifacts; feed live disordered streams
+	// through a session opened with WithDisorderBound instead. The
+	// wrapped *DisorderedError carries the offending frame-id pair.
+	ErrDisordered = vr.ErrDisordered
 
 	// ErrSessionClosed reports an operation on a closed Session (after
 	// Close, or after the Open context was cancelled).

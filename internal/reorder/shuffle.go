@@ -1,0 +1,43 @@
+package reorder
+
+import (
+	"math/rand"
+
+	"tvq/internal/vr"
+)
+
+// Shuffle returns the frames in a pseudo-random order in which no
+// frame is displaced by more than bound positions — the arrival
+// pattern a Buffer of the same bound reassembles exactly, with no
+// frame ever falling at or below the watermark. bound <= 0 returns a
+// plain copy.
+//
+// The displacement guarantee comes from sort keys rather than local
+// swaps: frame i sorts by i + u_i with u_i uniform in [0, bound+1), so
+// frame f lands after frame g only when f + u_f > g + u_g, which
+// forces g - f < bound + 1. Every inversion therefore spans at most
+// `bound` positions, and — dually — when the highest id seen so far is
+// M, every frame with id ≤ M-bound-1 has already been emitted, which
+// is exactly the receiving Buffer's watermark.
+func Shuffle(frames []vr.Frame, bound int, rng *rand.Rand) []vr.Frame {
+	out := append([]vr.Frame(nil), frames...)
+	if bound <= 0 || len(out) < 2 {
+		return out
+	}
+	keys := make([]float64, len(out))
+	for i := range out {
+		keys[i] = float64(i) + rng.Float64()*float64(bound+1)
+	}
+	// Stable insertion sort by key: every key is at most bound+1
+	// positions from sorted, so each element moves O(bound) slots and
+	// the pass is O(n·bound). The strict `<` keeps equal keys (measure
+	// zero, but float equality happens) in their in-order relation, so
+	// the displacement proof's strict inequality stands.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tvq"
+)
+
+// framesJSONL renders an arbitrary frame slice — shuffled, duplicated,
+// whatever the test needs — as a JSONL ingest body.
+func framesJSONL(t *testing.T, frames []tvq.Frame) string {
+	t.Helper()
+	codec, ok := tvq.CodecByName("jsonl")
+	if !ok {
+		t.Fatal("jsonl codec missing")
+	}
+	var buf bytes.Buffer
+	fw := codec.NewFrameWriter(&buf, tvq.StandardRegistry())
+	for _, f := range frames {
+		if err := fw.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func metricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return string(data)
+}
+
+// TestServerDisorderedIngest is the serving half of the tentpole: a
+// session created with a disorder bound absorbs a bounded-shuffled
+// trace over HTTP — no 409s — and its match stream is byte-identical
+// to the in-order in-process run, with zero late frames.
+func TestServerDisorderedIngest(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const bound = 3
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		fmt.Sprintf(`{"name":"default","disorder":%d,"queries":[{"id":1,"query":%q,"window":10,"duration":5}]}`,
+			bound, testQuery),
+		http.StatusCreated)
+
+	streamReq, _ := http.NewRequest("GET", ts.URL+"/v1/queries/1/stream?format=jsonl&buffer=8192", nil)
+	streamResp, err := client.Do(streamReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	streamed := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(streamResp.Body)
+		streamed <- string(data)
+	}()
+
+	// Ingest a bounded shuffle of the whole trace in uneven batches;
+	// every batch must be accepted even though almost none continues the
+	// cursor exactly.
+	shuffled := tvq.BoundedShuffle(tr.Frames(), bound, 99)
+	var last struct {
+		NextFID      int64  `json:"next_fid"`
+		Late         uint64 `json:"late"`
+		ReorderDepth int    `json:"reorder_depth"`
+	}
+	var lateTotal uint64
+	for i := 0; i < len(shuffled); i += 17 {
+		body := framesJSONL(t, shuffled[i:min(i+17, len(shuffled))])
+		data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson", body, http.StatusOK)
+		if err := json.Unmarshal(data, &last); err != nil {
+			t.Fatal(err)
+		}
+		lateTotal += last.Late
+	}
+	if last.NextFID != int64(tr.Len()) {
+		t.Errorf("final next_fid = %d, want %d", last.NextFID, tr.Len())
+	}
+	if lateTotal != 0 {
+		t.Errorf("bounded shuffle tripped the late policy %d times", lateTotal)
+	}
+	if last.ReorderDepth != 0 {
+		t.Errorf("final reorder depth = %d, want 0", last.ReorderDepth)
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/queries/1", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var got string
+	select {
+	case got = <-streamed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never ended after unsubscribe")
+	}
+	want := referenceJSONL(t, tr, 0, int64(tr.Len()))
+	if want == "" {
+		t.Fatal("reference run produced no matches; test is vacuous")
+	}
+	if got != want {
+		t.Errorf("disordered ingest stream diverges from in-order run\nhttp:   %d bytes\ndirect: %d bytes", len(got), len(want))
+	}
+
+	metrics := metricsBody(t, ts)
+	for _, line := range []string{"tvq_late_frames_total 0", "tvq_reorder_depth 0"} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("metrics missing %q\n%s", line, metrics)
+		}
+	}
+}
+
+// TestServerLateFrameDrop: under the drop policy a frame behind the
+// watermark is absorbed with a 200, surfaced in the response's late
+// count, and accumulated into tvq_late_frames_total.
+func TestServerLateFrameDrop(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"default","disorder":1,"late_policy":"drop"}`, http.StatusCreated)
+
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson",
+		framesJSONL(t, tr.Frames()[:20]), http.StatusOK)
+
+	// Replay frame 0 — far behind the watermark, unconditionally late.
+	data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson",
+		framesJSONL(t, tr.Frames()[:1]), http.StatusOK)
+	var resp struct {
+		NextFID int64  `json:"next_fid"`
+		Late    uint64 `json:"late"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Late != 1 {
+		t.Errorf("late = %d, want 1", resp.Late)
+	}
+	if resp.NextFID != 20 {
+		t.Errorf("next_fid = %d, want 20 (late frame must not move the cursor)", resp.NextFID)
+	}
+	if m := metricsBody(t, ts); !strings.Contains(m, "tvq_late_frames_total 1") {
+		t.Errorf("metrics missing tvq_late_frames_total 1\n%s", m)
+	}
+}
+
+// TestServerLateFrameError: under the error policy the same replay is
+// answered 409 with the cursor, the same conflict shape a strict
+// session emits, so clients converge identically.
+func TestServerLateFrameError(t *testing.T) {
+	tr := serverTrace(t)
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"default","disorder":1,"late_policy":"error"}`, http.StatusCreated)
+
+	mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson",
+		framesJSONL(t, tr.Frames()[:10]), http.StatusOK)
+
+	data := mustPost(t, client, ts.URL+"/v1/feeds/0/frames", "application/x-ndjson",
+		framesJSONL(t, tr.Frames()[:1]), http.StatusConflict)
+	var conflict struct {
+		Error   string `json:"error"`
+		NextFID *int64 `json:"next_fid"`
+	}
+	if err := json.Unmarshal(data, &conflict); err != nil {
+		t.Fatal(err)
+	}
+	if conflict.NextFID == nil || *conflict.NextFID != 10 {
+		t.Errorf("409 next_fid = %v, want 10", conflict.NextFID)
+	}
+	if !strings.Contains(conflict.Error, "watermark") {
+		t.Errorf("409 error %q should name the watermark violation", conflict.Error)
+	}
+}
+
+// TestServerDisorderParamsValidation: malformed disorder parameters
+// fail the create with 400, not a half-opened session.
+func TestServerDisorderParamsValidation(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"bad1","disorder":-1}`, http.StatusBadRequest)
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"bad2","disorder":2,"late_policy":"bogus"}`, http.StatusBadRequest)
+	// A bare late_policy is legal: a strict-order (bound 0) stage.
+	mustPost(t, client, ts.URL+"/v1/sessions", "application/json",
+		`{"name":"ok","late_policy":"error"}`, http.StatusCreated)
+}

@@ -38,6 +38,7 @@ type Metrics struct {
 	streamsActive     atomic.Int64  // currently connected match streams
 	streamsServed     atomic.Uint64 // match streams ever opened
 	droppedTotal      atomic.Uint64 // deliveries dropped by slow stream taps
+	lateFrames        atomic.Uint64 // frames consumed by sessions' late-frame policies
 
 	mu     sync.RWMutex
 	groups map[int]*groupStats // window size → generator stats
@@ -92,9 +93,10 @@ func (m *Metrics) addIngestBytes(codec string, n int64) {
 }
 
 // WritePrometheus renders the counters in the Prometheus text
-// exposition format. sessions is sampled by the caller (the server
-// knows its session table; the metrics registry does not).
-func (m *Metrics) WritePrometheus(w io.Writer, sessions int) {
+// exposition format. sessions and reorderDepth are sampled by the
+// caller (the server knows its session table; the metrics registry
+// does not).
+func (m *Metrics) WritePrometheus(w io.Writer, sessions, reorderDepth int) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -110,7 +112,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessions int) {
 	fmt.Fprintf(w, "tvq_ingest_bytes_total{codec=\"binary\"} %d\n", m.ingestBytesBinary.Load())
 	counter("tvq_streams_served_total", "Match streams ever opened.", m.streamsServed.Load())
 	counter("tvq_stream_dropped_total", "Deliveries dropped by slow stream consumers.", m.droppedTotal.Load())
+	counter("tvq_late_frames_total", "Frames consumed by late-frame policies: late arrivals, duplicates, overdue gap fills.", m.lateFrames.Load())
 	gauge("tvq_streams_active", "Currently connected match streams.", m.streamsActive.Load())
+	gauge("tvq_reorder_depth", "Frames currently held back by reorder buffers across sessions.", int64(reorderDepth))
 	gauge("tvq_sessions_open", "Sessions currently serving.", int64(sessions))
 	gauge("tvq_uptime_seconds", "Seconds since the server started.", int64(time.Since(m.start).Seconds()))
 

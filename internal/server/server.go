@@ -195,6 +195,8 @@ type SessionParams struct {
 	WindowMode string        `json:"window_mode,omitempty"` // sliding | tumbling
 	Prune      bool          `json:"prune,omitempty"`
 	Batch      int           `json:"batch,omitempty"`
+	Disorder   int           `json:"disorder,omitempty"`    // >0 = absorb frames displaced up to this bound
+	LatePolicy string        `json:"late_policy,omitempty"` // drop | error (implies disorder, bound 0 if unset)
 	Queries    []QueryParams `json:"queries,omitempty"`
 }
 
@@ -245,6 +247,21 @@ func (p SessionParams) options() ([]tvq.Option, error) {
 	}
 	if p.Batch > 0 {
 		opts = append(opts, tvq.WithBatch(p.Batch))
+	}
+	if p.Disorder < 0 {
+		return nil, fmt.Errorf("disorder bound %d must be non-negative", p.Disorder)
+	}
+	if p.Disorder > 0 || p.LatePolicy != "" {
+		// A bare late_policy means a strict-order stage (bound 0): the
+		// policy still governs replays and duplicates.
+		opts = append(opts, tvq.WithDisorderBound(p.Disorder))
+	}
+	if p.LatePolicy != "" {
+		pol, err := tvq.ParseLatePolicy(p.LatePolicy)
+		if err != nil {
+			return nil, fmt.Errorf("unknown late policy %q (drop or error)", p.LatePolicy)
+		}
+		opts = append(opts, tvq.WithLatePolicy(pol))
 	}
 	return opts, nil
 }
@@ -398,6 +415,7 @@ func httpError(w http.ResponseWriter, err error) {
 	case errors.Is(err, tvq.ErrSessionExists),
 		errors.Is(err, tvq.ErrDuplicateQuery),
 		errors.Is(err, tvq.ErrPruningIncompatible),
+		errors.Is(err, tvq.ErrLateFrame),
 		errors.Is(err, errFrameOrder):
 		code = http.StatusConflict
 	case errors.Is(err, tvq.ErrSessionClosed):
@@ -466,9 +484,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.sessions)
+	depth := 0
+	for _, st := range s.sessions {
+		if st.sess.Disordered() {
+			depth += st.sess.ReorderDepth()
+		}
+	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, n)
+	s.metrics.WritePrometheus(w, n, depth)
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -633,28 +657,54 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	default:
 	}
 
-	// Validate the cursor under the ingest lock (TOCTOU-free): the batch
-	// must continue the feed exactly where it stands. The 409 body
-	// carries next_fid so a client can drop already-ingested frames and
-	// retry the remainder without a second round trip.
-	next := st.sess.NextFID(feed)
-	for i, f := range frames {
-		if f.FID != next+int64(i) {
-			err := fmt.Errorf("%w: frame %d at batch index %d, feed %d expects %d",
-				errFrameOrder, f.FID, i, feed, next+int64(i))
-			writeJSON(w, http.StatusConflict, map[string]any{
-				"error":    err.Error(),
-				"next_fid": next,
-			})
-			return
+	// Validate the cursor under the ingest lock (TOCTOU-free). A strict
+	// session requires the batch to continue the feed exactly where it
+	// stands; the 409 body carries next_fid so a client can drop
+	// already-ingested frames and retry the remainder without a second
+	// round trip. A disordered session skips the check — absorbing
+	// displaced batches is the reorder stage's whole point — and its
+	// late-frame policy resolves whatever the bound cannot.
+	disordered := st.sess.Disordered()
+	if !disordered {
+		next := st.sess.NextFID(feed)
+		for i, f := range frames {
+			if f.FID != next+int64(i) {
+				err := fmt.Errorf("%w: frame %d at batch index %d, feed %d expects %d",
+					errFrameOrder, f.FID, i, feed, next+int64(i))
+				writeJSON(w, http.StatusConflict, map[string]any{
+					"error":    err.Error(),
+					"next_fid": next,
+				})
+				return
+			}
 		}
 	}
 	ffs := make([]tvq.FeedFrame, len(frames))
 	for i, f := range frames {
 		ffs[i] = tvq.FeedFrame{Feed: feed, Frame: f}
 	}
+	var lateBefore uint64
+	if disordered {
+		lateBefore = st.sess.LateFrames()
+	}
 	results, err := st.sess.Process(ffs)
+	var late uint64
+	if disordered {
+		late = st.sess.LateFrames() - lateBefore
+		s.metrics.lateFrames.Add(late)
+	}
 	if err != nil {
+		if errors.Is(err, tvq.ErrLateFrame) {
+			// The LateError policy refused a frame; everything the stage
+			// released before it was processed. Answer like an order
+			// conflict — 409 with the cursor — so clients converge the
+			// same way.
+			writeJSON(w, http.StatusConflict, map[string]any{
+				"error":    err.Error(),
+				"next_fid": st.sess.NextFID(feed),
+			})
+			return
+		}
 		httpError(w, err)
 		return
 	}
@@ -664,11 +714,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.framesIngested.Add(uint64(len(frames)))
 	s.metrics.matchesEmitted.Add(uint64(matches))
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"accepted": len(frames),
 		"matches":  matches,
 		"next_fid": st.sess.NextFID(feed),
-	})
+	}
+	if disordered {
+		resp["late"] = late
+		resp["reorder_depth"] = st.sess.ReorderDepth()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ingestCodec resolves the request's Content-Type to a frame codec. A

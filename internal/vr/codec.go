@@ -112,7 +112,10 @@ func CodecByContentType(contentType string) (Codec, bool) {
 // materialized from 0 to the maximum frame id seen (ids absent from the
 // stream become empty frames), per-frame class maps are merged into one
 // feed-wide table, and conflicting classes for one object id are
-// rejected as corrupt input.
+// rejected as corrupt input. Frame ids must be strictly increasing —
+// trace files are canonical artifacts, and a disordered one is rejected
+// with a DisorderedError (the streaming FrameReaders stay order-
+// agnostic; bounded live disorder is the reorder stage's job).
 func readTraceFrom(fr FrameReader) (*Trace, error) {
 	classes := make(map[objset.ID]Class)
 	perFrame := make(map[FrameID][]objset.ID)
@@ -131,9 +134,10 @@ func readTraceFrom(fr FrameReader) (*Trace, error) {
 		if f.FID >= MaxTraceFrames {
 			return nil, fmt.Errorf("vr: frame id %d exceeds MaxTraceFrames (%d)", f.FID, MaxTraceFrames)
 		}
-		if f.FID > maxFID {
-			maxFID = f.FID
+		if f.FID <= maxFID {
+			return nil, &DisorderedError{Prev: maxFID, FID: f.FID}
 		}
+		maxFID = f.FID
 		var conflict error
 		f.Objects.Range(func(id objset.ID) bool {
 			c := f.Classes[id]

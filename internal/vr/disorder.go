@@ -1,0 +1,33 @@
+package vr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDisordered reports frame ids out of strictly increasing order in
+// a trace-materializing reader (ReadTrace). Whole-trace files are
+// canonical artifacts — the writers emit ascending ids, so a violation
+// means a corrupt or hand-disordered file, not a network race. The
+// streaming FrameReaders deliberately do NOT enforce this: live ingest
+// may be disordered within a bound, and the reorder stage — not the
+// codec — owns that policy.
+var ErrDisordered = errors.New("vr: frame ids out of order")
+
+// DisorderedError is the typed payload behind ErrDisordered: the
+// offending frame id and the highest id seen before it. Prev == FID
+// means a duplicate. Retrieve it with errors.As; errors.Is(err,
+// ErrDisordered) matches through Unwrap.
+type DisorderedError struct {
+	Prev FrameID // highest frame id seen before the offender
+	FID  FrameID // the offending (non-increasing) frame id
+}
+
+func (e *DisorderedError) Error() string {
+	if e.FID == e.Prev {
+		return fmt.Sprintf("vr: duplicate frame id %d", e.FID)
+	}
+	return fmt.Sprintf("vr: frame id %d after %d: ids must be strictly increasing", e.FID, e.Prev)
+}
+
+func (e *DisorderedError) Unwrap() error { return ErrDisordered }

@@ -1,0 +1,80 @@
+package vr
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestReadTraceRejectsDisordered pins the typed error contract of the
+// trace-materializing readers: an out-of-order or duplicate frame id
+// fails with ErrDisordered carrying the offending pair, in both
+// codecs. The streaming FrameReaders stay order-agnostic — that split
+// is the whole point of the reorder stage owning disorder policy.
+func TestReadTraceRejectsDisordered(t *testing.T) {
+	reg := StandardRegistry()
+
+	encode := func(c Codec, fids ...FrameID) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		fw := c.NewFrameWriter(&buf, reg)
+		for _, fid := range fids {
+			if err := fw.WriteFrame(Frame{FID: fid}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, c := range []Codec{JSONL, Binary} {
+		t.Run(c.Name()+"/regression", func(t *testing.T) {
+			if _, err := c.ReadTrace(bytes.NewReader(encode(c, 0, 2, 1)), reg); !errors.Is(err, ErrDisordered) {
+				t.Fatalf("err = %v, want ErrDisordered", err)
+			}
+			var de *DisorderedError
+			_, err := c.ReadTrace(bytes.NewReader(encode(c, 0, 2, 1)), reg)
+			if !errors.As(err, &de) || de.Prev != 2 || de.FID != 1 {
+				t.Fatalf("err = %v, want DisorderedError{Prev: 2, FID: 1}", err)
+			}
+		})
+		t.Run(c.Name()+"/duplicate", func(t *testing.T) {
+			var de *DisorderedError
+			_, err := c.ReadTrace(bytes.NewReader(encode(c, 0, 1, 1)), reg)
+			if !errors.As(err, &de) || de.Prev != 1 || de.FID != 1 {
+				t.Fatalf("err = %v, want DisorderedError{Prev: 1, FID: 1}", err)
+			}
+			if !strings.Contains(err.Error(), "duplicate") {
+				t.Fatalf("duplicate message should say so, got %q", err)
+			}
+		})
+		t.Run(c.Name()+"/ordered-ok", func(t *testing.T) {
+			tr, err := c.ReadTrace(bytes.NewReader(encode(c, 0, 1, 2)), reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != 3 {
+				t.Fatalf("trace length %d, want 3", tr.Len())
+			}
+		})
+		t.Run(c.Name()+"/streaming-tolerates", func(t *testing.T) {
+			// The FrameReader must hand the disordered stream through
+			// untouched; it is the reorder stage's input.
+			fr := c.NewFrameReader(bytes.NewReader(encode(c, 0, 2, 1)), reg)
+			var got []FrameID
+			for {
+				f, err := fr.Next()
+				if err != nil {
+					break
+				}
+				got = append(got, f.FID)
+			}
+			if len(got) != 3 || got[1] != 2 || got[2] != 1 {
+				t.Fatalf("streaming reader altered the stream: %v", got)
+			}
+		})
+	}
+}

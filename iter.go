@@ -78,19 +78,21 @@ func (s *Session) stream(ctx context.Context, src func(func(FeedFrame, []Match) 
 		// final flush to dispatch twice.
 		processed := batch
 		batch = batch[:0]
-		results, err := s.Process(processed)
+		dispatched, results, err := s.processDispatched(processed)
 		// Yield whatever the batch produced even when err != nil (e.g. a
 		// failed cadence checkpoint): the frames were processed and the
 		// sinks saw the matches, so hiding them from the iterator would
 		// lose them for good. The error still ends the iteration below.
-		// Results are an ingestion-order subset of the batch: walk both
-		// with two cursors to recover each result's input frame.
+		// Results are an ingestion-order subset of the *dispatched*
+		// frames — identical to the batch on a strict session, the
+		// reorder stage's in-order releases on a disordered one — so
+		// walk those with two cursors to recover each result's frame.
 		bi := 0
 		for _, r := range results {
-			for processed[bi].Feed != r.Feed || processed[bi].Frame.FID != r.FID {
+			for dispatched[bi].Feed != r.Feed || dispatched[bi].Frame.FID != r.FID {
 				bi++
 			}
-			if !yield(processed[bi], r.Matches) {
+			if !yield(dispatched[bi], r.Matches) {
 				return false
 			}
 		}

@@ -26,6 +26,11 @@ type config struct {
 	ckPath     string
 	ckEvery    Cadence
 	subSinks   func(Query) Sink
+
+	disorder    int
+	disorderSet bool
+	late        LatePolicy
+	lateSet     bool
 }
 
 func buildConfig(opts []Option) (config, error) {
@@ -157,6 +162,46 @@ func WithCheckpoint(path string, every Cadence) Option {
 		}
 		c.ckPath = path
 		c.ckEvery = every
+		return nil
+	}
+}
+
+// WithDisorderBound installs the reorder stage in front of the
+// engines: frames may arrive displaced by up to k positions from
+// frame-id order per feed and are buffered (at most k at a time),
+// re-sorted, and released in exact order — query answers are identical
+// to an in-order run. A frame at or below the feed's watermark (see
+// Session.Watermark), a duplicate of a buffered frame, or a gap that
+// can no longer fill within the bound hits the late-frame policy
+// (WithLatePolicy; LateDrop by default). k=0 installs the stage in
+// strict mode: any deviation from the cursor resolves by policy
+// instead of an out-of-order rejection. Snapshots record the stage's
+// bound, policy, watermark and buffered frames, so Resume continues
+// exactly even mid-reassembly.
+func WithDisorderBound(k int) Option {
+	return func(c *config) error {
+		if k < 0 {
+			return fmt.Errorf("tvq: WithDisorderBound(%d): bound must be non-negative", k)
+		}
+		c.disorder = k
+		c.disorderSet = true
+		return nil
+	}
+}
+
+// WithLatePolicy selects what happens to frames the disorder bound
+// cannot absorb: LateDrop (default) counts and discards them, filling
+// unrecoverable gaps with empty frames; LateError fails Process with
+// an error wrapping ErrLateFrame. Requires WithDisorderBound at Open;
+// at Resume it may also stand alone as a cross-check against the
+// recorded policy.
+func WithLatePolicy(p LatePolicy) Option {
+	return func(c *config) error {
+		if p != LateDrop && p != LateError {
+			return fmt.Errorf("tvq: WithLatePolicy(%d): unknown policy", p)
+		}
+		c.late = p
+		c.lateSet = true
 		return nil
 	}
 }

@@ -11,12 +11,20 @@ import (
 	"time"
 
 	"tvq/internal/engine"
+	"tvq/internal/reorder"
 	"tvq/internal/snapshot"
 )
 
-// Session payload kind in the snapshot container; engine and pool
+// Session payload kinds in the snapshot container; engine and pool
 // payloads keep their own kinds so v1 snapshot files remain readable.
-const payloadSession = "session"
+// "session2" extends "session" with the reorder stage's state (bound,
+// policy, per-feed watermarks and buffered frames) and is written only
+// by disordered sessions, so snapshots of strict sessions stay
+// readable by older builds.
+const (
+	payloadSession   = "session"
+	payloadSessionV2 = "session2"
+)
 
 // Session is the v2 entry point: one long-running query-serving
 // surface over a video feed (or a bank of feeds), backed by either a
@@ -46,6 +54,11 @@ type Session struct {
 	pool   *engine.Pool // nil for single-engine sessions
 	ck     checkpointer
 	cancel func() bool // stops the context watcher
+
+	// reorder holds the per-feed bounded out-of-order buffers; nil on a
+	// strict session (no WithDisorderBound). Guarded by procMu, like the
+	// processor it feeds.
+	reorder map[FeedID]*reorder.Buffer
 
 	// procMu serializes processing, registration, snapshots and
 	// teardown — everything that touches the processor.
@@ -81,9 +94,15 @@ func Open(ctx context.Context, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.lateSet && !cfg.disorderSet {
+		return nil, fmt.Errorf("tvq: WithLatePolicy requires WithDisorderBound")
+	}
 	assignQueryIDs(cfg.queries)
 
 	s := &Session{cfg: cfg, subs: make(map[int]*Subscription), done: make(chan struct{})}
+	if cfg.disorderSet {
+		s.reorder = make(map[FeedID]*reorder.Buffer)
+	}
 	if cfg.workersSet && cfg.workers > 1 || cfg.modeSet {
 		pool, err := engine.NewPool(cfg.queries, engine.PoolOptions{
 			Workers: cfg.workers,
@@ -144,35 +163,62 @@ func (s *Session) watchContext(ctx context.Context) {
 // with consecutive frame ids; pooled sessions follow their shard mode's
 // input contract (see ShardByFeed / ShardByGroup).
 func (s *Session) Process(frames []FeedFrame) ([]FeedResult, error) {
+	_, results, err := s.processDispatched(frames)
+	return results, err
+}
+
+// processDispatched is Process returning also the frames actually
+// dispatched to the engines this call: the input on a strict session,
+// the reorder stage's in-order releases on a disordered one. Stream
+// uses it to map results back to frames when arrival order and
+// processing order differ.
+func (s *Session) processDispatched(frames []FeedFrame) ([]FeedFrame, []FeedResult, error) {
 	s.procMu.Lock()
 	defer s.procMu.Unlock()
 	return s.processLocked(frames)
 }
 
-func (s *Session) processLocked(frames []FeedFrame) ([]FeedResult, error) {
+func (s *Session) processLocked(frames []FeedFrame) ([]FeedFrame, []FeedResult, error) {
 	if s.isClosed() {
-		return nil, ErrSessionClosed
+		return nil, nil, ErrSessionClosed
 	}
 	if s.pool == nil {
 		for _, ff := range frames {
 			if ff.Feed != 0 {
-				return nil, fmt.Errorf("tvq: single-engine session serves feed 0 only, got feed %d; open with WithWorkers/WithShardMode(ShardByFeed) for multi-feed input", ff.Feed)
+				return nil, nil, fmt.Errorf("tvq: single-engine session serves feed 0 only, got feed %d; open with WithWorkers/WithShardMode(ShardByFeed) for multi-feed input", ff.Feed)
 			}
 		}
 	}
 	s.applyPendingLocked()
-	results := s.proc.Process(frames)
+	dispatched := frames
+	var lateErr error
+	if s.reorder != nil {
+		// The reorder stage may hold frames back, release buffered ones,
+		// or — under LateError — refuse one mid-batch. Frames it released
+		// before the refusal have left the buffers and must still reach
+		// the engines, so processing proceeds on the releases and the
+		// error is reported after delivery.
+		dispatched, lateErr = s.reorderLocked(frames)
+	}
+	results := s.proc.Process(dispatched)
 	if err := s.deliverLocked(results); err != nil {
 		s.setErr(err)
-		return results, err
+		return dispatched, results, err
 	}
+	if lateErr != nil {
+		return dispatched, results, lateErr
+	}
+	// Cadence counts arrivals, not dispatches: a disordered session must
+	// checkpoint on schedule even while frames sit in the buffers —
+	// that mid-reassembly state is precisely what the v2 snapshot exists
+	// to preserve.
 	if s.ck.due(len(frames)) {
 		if err := s.ck.write(s.snapshotLocked); err != nil {
 			s.setErr(err)
-			return results, err
+			return dispatched, results, err
 		}
 	}
-	return results, nil
+	return dispatched, results, nil
 }
 
 // ProcessFrame is Process for a single frame of feed 0, returning just
@@ -420,7 +466,11 @@ func (s *Session) Snapshot(w io.Writer) error {
 
 func (s *Session) snapshotLocked(w io.Writer) error {
 	var sw snapshot.Writer
-	sw.String(payloadSession)
+	kind := payloadSession
+	if s.reorder != nil {
+		kind = payloadSessionV2
+	}
+	sw.String(kind)
 	s.mu.Lock()
 	ids := make([]int, 0, len(s.subs))
 	for id := range s.subs {
@@ -437,6 +487,24 @@ func (s *Session) snapshotLocked(w io.Writer) error {
 		return err
 	}
 	sw.Blob(buf.Bytes())
+	if s.reorder != nil {
+		// The reorder section: bound and policy once, then each feed's
+		// buffer (watermark, counters, buffered frames) in feed order. A
+		// snapshot taken mid-reassembly restores to the exact same
+		// mid-reassembly state.
+		sw.Uvarint(uint64(s.cfg.disorder))
+		sw.Uvarint(uint64(s.cfg.late))
+		feeds := make([]FeedID, 0, len(s.reorder))
+		for feed := range s.reorder {
+			feeds = append(feeds, feed)
+		}
+		sort.Slice(feeds, func(i, j int) bool { return feeds[i] < feeds[j] })
+		sw.Uvarint(uint64(len(feeds)))
+		for _, feed := range feeds {
+			sw.Varint(int64(feed))
+			s.reorder[feed].Encode(&sw)
+		}
+	}
 	return snapshot.Write(w, sw.Bytes())
 }
 
@@ -475,19 +543,45 @@ func Resume(ctx context.Context, r io.Reader, opts ...Option) (*Session, error) 
 		return nil, err
 	}
 
-	var subIDs []int
-	procData := data
-	if kind == payloadSession {
-		subIDs, procData, err = decodeSessionBody(sr)
+	var body sessionBody
+	body.procData = data
+	if kind == payloadSession || kind == payloadSessionV2 {
+		body, err = decodeSessionBody(sr, kind == payloadSessionV2)
 		if err != nil {
 			return nil, err
 		}
-		if kind, err = sniffKind(bytes.NewReader(procData)); err != nil {
+		if kind, err = sniffKind(bytes.NewReader(body.procData)); err != nil {
 			return nil, err
 		}
 	}
+	subIDs, procData := body.subIDs, body.procData
+
+	// Reconcile the recorded reorder stage with the Resume options:
+	// recorded state wins, explicit disagreement is a mismatch. A legacy
+	// snapshot plus WithDisorderBound attaches a fresh stage at the
+	// recorded cursors (buffers materialize lazily per feed).
+	if body.disordered {
+		if cfg.disorderSet && cfg.disorder != body.bound {
+			return nil, fmt.Errorf("tvq: %w: snapshot was taken with disorder bound %d; cannot restore with %d",
+				ErrSnapshotMismatch, body.bound, cfg.disorder)
+		}
+		if cfg.lateSet && cfg.late != body.late {
+			return nil, fmt.Errorf("tvq: %w: snapshot was taken with late policy %v; cannot restore with %v",
+				ErrSnapshotMismatch, body.late, cfg.late)
+		}
+		cfg.disorder, cfg.disorderSet = body.bound, true
+		cfg.late, cfg.lateSet = body.late, true
+	} else if cfg.lateSet && !cfg.disorderSet {
+		return nil, fmt.Errorf("tvq: WithLatePolicy requires WithDisorderBound")
+	}
 
 	s := &Session{cfg: cfg, subs: make(map[int]*Subscription), done: make(chan struct{})}
+	if cfg.disorderSet {
+		s.reorder = body.buffers
+		if s.reorder == nil {
+			s.reorder = make(map[FeedID]*reorder.Buffer)
+		}
+	}
 	switch kind {
 	case "engine":
 		if cfg.workersSet && cfg.workers > 1 {
@@ -540,6 +634,17 @@ func Resume(ctx context.Context, r io.Reader, opts ...Option) (*Session, error) 
 		return nil, fmt.Errorf("tvq: %w: snapshot was taken with window mode %d; cannot restore with %d",
 			ErrSnapshotMismatch, s.proc.WindowMode(), cfg.eng.Windows)
 	}
+	// A restored buffer's cursor must equal the processor's cursor for
+	// its feed: the stage releases eagerly, so between batches the two
+	// always agree — disagreement means the snapshot's halves are
+	// inconsistent.
+	for feed, b := range s.reorder {
+		if b.Cursor() != s.proc.NextFID(feed) {
+			s.proc.Close()
+			return nil, fmt.Errorf("tvq: %w: reorder buffer for feed %d resumes at frame %d but the engine expects %d",
+				ErrSnapshotMismatch, feed, b.Cursor(), s.proc.NextFID(feed))
+		}
+	}
 
 	// Recreate the recorded subscriptions around their (restored)
 	// queries.
@@ -581,22 +686,64 @@ func sniffKind(r io.Reader) (string, error) {
 	return kind, sr.Err()
 }
 
+// sessionBody is the decoded payload of a session snapshot: the
+// recorded subscription ids, the embedded processor snapshot, and —
+// for the v2 ("session2") kind — the reorder stage's state.
+type sessionBody struct {
+	subIDs   []int
+	procData []byte
+
+	disordered bool
+	bound      int
+	late       LatePolicy
+	buffers    map[FeedID]*reorder.Buffer
+}
+
 // decodeSessionBody unpacks the rest of a session snapshot — the kind
-// tag has already been consumed from sr — into its recorded
-// subscription ids and the embedded processor snapshot.
-func decodeSessionBody(sr *snapshot.Reader) (subIDs []int, procData []byte, err error) {
+// tag has already been consumed from sr. v2 selects the "session2"
+// layout, which appends the reorder section.
+func decodeSessionBody(sr *snapshot.Reader, v2 bool) (sessionBody, error) {
+	var body sessionBody
 	n := sr.Count(1)
 	for i := 0; i < n; i++ {
-		subIDs = append(subIDs, sr.Int())
+		body.subIDs = append(body.subIDs, sr.Int())
 	}
-	procData = sr.Blob()
+	body.procData = sr.Blob()
 	if err := sr.Err(); err != nil {
-		return nil, nil, err
+		return sessionBody{}, err
+	}
+	if v2 {
+		body.disordered = true
+		body.bound = int(sr.Uvarint())
+		if pol := sr.Uvarint(); pol > uint64(LateError) {
+			sr.Fail("tvq: snapshot records unknown late policy %d", pol)
+		} else {
+			body.late = LatePolicy(pol)
+		}
+		nfeeds := sr.Count(5)
+		if err := sr.Err(); err != nil {
+			return sessionBody{}, err
+		}
+		body.buffers = make(map[FeedID]*reorder.Buffer, nfeeds)
+		for i := 0; i < nfeeds; i++ {
+			feed := FeedID(sr.Varint())
+			buf, err := reorder.Decode(sr, body.bound, body.late)
+			if err != nil {
+				return sessionBody{}, err
+			}
+			if _, dup := body.buffers[feed]; dup {
+				return sessionBody{}, fmt.Errorf("tvq: snapshot records feed %d's reorder buffer twice", feed)
+			}
+			body.buffers[feed] = buf
+		}
+		if err := sr.Err(); err != nil {
+			return sessionBody{}, err
+		}
 	}
 	if sr.Remaining() != 0 {
-		return nil, nil, fmt.Errorf("tvq: %d trailing bytes after session state", sr.Remaining())
+		return sessionBody{}, fmt.Errorf("tvq: %d trailing bytes after session state", sr.Remaining())
 	}
-	return subIDs, procData, nil
+	return body, nil
 }
 
 // Close ends the session: the context watcher stops, in-flight channel

@@ -35,6 +35,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"tvq"
 )
@@ -52,6 +53,12 @@ type Client struct {
 	batch     int
 	retries   int
 	streamBuf int
+
+	// Transient-failure retry (WithRetryBackoff); zero tries = fail
+	// fast.
+	backoffTries int
+	backoffBase  time.Duration
+	backoffMax   time.Duration
 }
 
 // Option configures a Client.
@@ -142,6 +149,8 @@ type SessionParams struct {
 	WindowMode string        `json:"window_mode,omitempty"` // sliding | tumbling
 	Prune      bool          `json:"prune,omitempty"`
 	Batch      int           `json:"batch,omitempty"`
+	Disorder   int           `json:"disorder,omitempty"`    // >0 = absorb frames displaced up to this bound
+	LatePolicy string        `json:"late_policy,omitempty"` // drop | error
 	Queries    []QueryParams `json:"queries,omitempty"`
 }
 

@@ -52,7 +52,7 @@ func (c *Client) Ingest(ctx context.Context, feed tvq.FeedID, frames []tvq.Frame
 	lastNext := int64(-1)
 	for len(frames) > 0 {
 		n := min(c.batch, len(frames))
-		br, err := c.ingestBatch(ctx, feed, frames[:n])
+		br, err := c.ingestBatchRetry(ctx, feed, frames[:n])
 		if conflict, ok := err.(*cursorConflictError); ok {
 			if lastNext >= 0 && conflict.nextFID <= lastNext {
 				return res, fmt.Errorf("%w: feed %d cursor stuck at %d after a correction to %d: %v",

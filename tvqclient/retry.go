@@ -1,0 +1,104 @@
+package tvqclient
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"time"
+
+	"tvq"
+)
+
+// Transient-failure retry for ingest. The daemon answers 429 when a
+// session's ingest queue is full (backpressure) and 5xx on transient
+// server trouble; both mean "try again shortly", not "give up". The
+// retry loop here is distinct from Ingest's 409 cursor-convergence
+// loop: a 409 carries new information (the cursor) and is resolved by
+// pruning frames, while a 429/5xx carries none and is resolved by
+// waiting. Ingest is idempotent under resend — a replayed batch draws
+// a 409 whose next_fid prunes it — so retrying a request whose
+// response was lost is safe.
+
+// defaults for WithRetryBackoff when the caller enables retries
+// without tuning them.
+const (
+	defaultBackoffBase = 100 * time.Millisecond
+	defaultBackoffMax  = 5 * time.Second
+)
+
+// WithRetryBackoff makes Ingest retry batches answered 429 or 5xx up
+// to attempts times per batch, sleeping base<<n (capped at max) with
+// uniform jitter before retry n. Zero attempts (the default) fails
+// fast on the first transient error; base/max at zero take 100ms/5s.
+// Retries respect the call's context: cancellation during a backoff
+// sleep returns ctx.Err() immediately.
+func WithRetryBackoff(attempts int, base, max time.Duration) Option {
+	return func(c *Client) {
+		if attempts < 0 {
+			attempts = 0
+		}
+		if base <= 0 {
+			base = defaultBackoffBase
+		}
+		if max <= 0 {
+			max = defaultBackoffMax
+		}
+		c.backoffTries = attempts
+		c.backoffBase = base
+		c.backoffMax = max
+	}
+}
+
+// retryable reports whether an ingest failure is transient: the
+// backpressure valve (429) or a server-side failure (5xx). Everything
+// else — 4xx semantics, decode failures, transport errors — is
+// permanent or handled elsewhere (409 by the cursor loop in Ingest).
+func retryable(err error) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && (apiErr.StatusCode == http.StatusTooManyRequests || apiErr.StatusCode >= 500)
+}
+
+// ingestBatchRetry is ingestBatch wrapped in the transient-failure
+// retry loop configured by WithRetryBackoff.
+func (c *Client) ingestBatchRetry(ctx context.Context, feed tvq.FeedID, frames []tvq.Frame) (batchResult, error) {
+	for attempt := 0; ; attempt++ {
+		br, err := c.ingestBatch(ctx, feed, frames)
+		if err == nil || !retryable(err) {
+			return br, err
+		}
+		if attempt >= c.backoffTries {
+			if c.backoffTries > 0 {
+				err = fmt.Errorf("tvqclient: %d retries exhausted: %w", c.backoffTries, err)
+			}
+			return br, err
+		}
+		if werr := sleepBackoff(ctx, c.backoffBase, c.backoffMax, attempt); werr != nil {
+			return br, werr
+		}
+	}
+}
+
+// sleepBackoff waits out retry slot n: base<<n capped at max, then
+// jittered uniformly over [d/2, d) so synchronized producers hitting
+// the same backpressure valve don't retry in lockstep.
+func sleepBackoff(ctx context.Context, base, max time.Duration, n int) error {
+	d := base
+	// Shift with an overflow guard: past the cap the shift result is
+	// meaningless anyway.
+	for i := 0; i < n && d < max; i++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	d = d/2 + rand.N(d/2+1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,182 @@
+package tvqclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tvq"
+	"tvq/tvqclient"
+)
+
+// stubIngestServer answers every ingest POST by calling respond with
+// the 1-based request number; other paths 404. It exercises the retry
+// loop without a real daemon, so failure sequences are scripted
+// exactly.
+func stubIngestServer(t *testing.T, respond func(w http.ResponseWriter, n int64)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.NotFound(w, r)
+			return
+		}
+		respond(w, calls.Add(1))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func retryFrames(n int) []tvq.Frame {
+	frames := make([]tvq.Frame, n)
+	for i := range frames {
+		frames[i] = tvq.Frame{FID: int64(i)}
+	}
+	return frames
+}
+
+func okBody(w http.ResponseWriter, accepted int, next int64) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"accepted": accepted, "matches": 0, "next_fid": next,
+	})
+}
+
+// TestRetryBackoffRecovers429 pins the satellite contract: two
+// backpressure rejections followed by a success must not surface to
+// the caller when WithRetryBackoff allows them.
+func TestRetryBackoffRecovers429(t *testing.T) {
+	ts, calls := stubIngestServer(t, func(w http.ResponseWriter, n int64) {
+		if n <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "ingest queue full; retry"})
+			return
+		}
+		okBody(w, 4, 4)
+	})
+	c := tvqclient.New(ts.URL, tvqclient.WithRetryBackoff(3, time.Millisecond, 10*time.Millisecond))
+	res, err := c.Ingest(context.Background(), 0, retryFrames(4))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if res.Accepted != 4 || res.NextFID != 4 {
+		t.Fatalf("accepted %d next %d, want 4 and 4", res.Accepted, res.NextFID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 429s + success)", got)
+	}
+}
+
+// TestRetryBackoffRecovers5xx does the same for a transient server
+// failure.
+func TestRetryBackoffRecovers5xx(t *testing.T) {
+	ts, calls := stubIngestServer(t, func(w http.ResponseWriter, n int64) {
+		if n == 1 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		okBody(w, 2, 2)
+	})
+	c := tvqclient.New(ts.URL, tvqclient.WithRetryBackoff(2, time.Millisecond, 10*time.Millisecond))
+	if _, err := c.Ingest(context.Background(), 0, retryFrames(2)); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestRetryBackoffExhausts verifies a persistent failure surfaces the
+// final APIError after exactly attempts+1 requests.
+func TestRetryBackoffExhausts(t *testing.T) {
+	ts, calls := stubIngestServer(t, func(w http.ResponseWriter, n int64) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	})
+	c := tvqclient.New(ts.URL, tvqclient.WithRetryBackoff(2, time.Millisecond, 10*time.Millisecond))
+	_, err := c.Ingest(context.Background(), 0, retryFrames(1))
+	var apiErr *tvqclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestRetryBackoffFailsFastByDefault: without WithRetryBackoff the
+// first 429 is the caller's problem — no hidden sleeping.
+func TestRetryBackoffFailsFastByDefault(t *testing.T) {
+	ts, calls := stubIngestServer(t, func(w http.ResponseWriter, n int64) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	})
+	c := tvqclient.New(ts.URL)
+	_, err := c.Ingest(context.Background(), 0, retryFrames(1))
+	var apiErr *tvqclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestRetryBackoffHonorsContext: cancelling mid-backoff ends the call
+// with ctx's error instead of sleeping out the schedule.
+func TestRetryBackoffHonorsContext(t *testing.T) {
+	ts, _ := stubIngestServer(t, func(w http.ResponseWriter, n int64) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	})
+	// A long base makes the backoff sleep the dominant wait, so a prompt
+	// return can only mean the context interrupted it.
+	c := tvqclient.New(ts.URL, tvqclient.WithRetryBackoff(5, time.Minute, time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Ingest(ctx, 0, retryFrames(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestRetryBackoffDoesNotRetry409 keeps the two retry loops disjoint:
+// a cursor conflict must reach Ingest's convergence logic on the first
+// response, not burn backoff attempts.
+func TestRetryBackoffDoesNotRetry409(t *testing.T) {
+	ts, calls := stubIngestServer(t, func(w http.ResponseWriter, n int64) {
+		if n == 1 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": "frame out of order", "next_fid": 2})
+			return
+		}
+		okBody(w, 1, 3)
+	})
+	c := tvqclient.New(ts.URL, tvqclient.WithRetryBackoff(5, time.Minute, time.Hour))
+	start := time.Now()
+	res, err := c.Ingest(context.Background(), 0, retryFrames(3))
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if res.Skipped != 2 {
+		t.Fatalf("skipped %d frames, want 2 (pruned by the 409 cursor)", res.Skipped)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+	// With a one-minute backoff base, any backoff sleep would dwarf this.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("409 handling took %v; it must not enter the backoff path", elapsed)
+	}
+}
