@@ -1,16 +1,27 @@
 // Command tvqlint is the project's invariant multichecker: it runs the
-// internal/analysis suite — retainset, noalloc, sinkcontract, wraperr,
-// lockorder — over the given packages and reports violations of the
-// engine's ownership, lifetime and hot-path contracts as compile-time
-// diagnostics.
+// internal/analysis suite — retainset, resultlife, snapshotdrift,
+// noalloc, sinkcontract, wraperr, lockorder — over the given packages
+// and reports violations of the engine's ownership, lifetime, snapshot
+// and hot-path contracts as compile-time diagnostics.
 //
 // Usage:
 //
 //	go run ./cmd/tvqlint ./...
 //	go run ./cmd/tvqlint -json ./internal/core ./internal/engine
+//	go run ./cmd/tvqlint -only retainset,resultlife ./...
+//	go run ./cmd/tvqlint -skip noalloc -github ./...
+//
+// Analyzer selection: -only runs exactly the named analyzers, -skip
+// drops the named ones from the suite; both take comma-separated
+// analyzer names (see -analyzers for the list) and naming an unknown
+// analyzer is a usage error. Output: the default is one line per
+// finding, -json a JSON array, -github GitHub Actions workflow
+// commands (::error file=...) so findings surface as inline PR
+// annotations.
 //
 // Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
-// usage or load error. Diagnostics are suppressed by
+// usage or load error (including an analyzer that failed to run).
+// Diagnostics are suppressed by
 // //lint:ignore <analyzer> <reason> (same or next line) and
 // //lint:file-ignore <analyzer> <reason> (whole file); see
 // internal/analysis and the DESIGN.md "Static invariants" section.
@@ -22,18 +33,25 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"tvq/internal/analysis"
 	"tvq/internal/analysis/lockorder"
 	"tvq/internal/analysis/noalloc"
+	"tvq/internal/analysis/resultlife"
 	"tvq/internal/analysis/retainset"
 	"tvq/internal/analysis/sinkcontract"
+	"tvq/internal/analysis/snapshotdrift"
 	"tvq/internal/analysis/wraperr"
 )
 
-// Suite is the gating analyzer set, in diagnostic-priority order.
+// Suite is the gating analyzer set, in diagnostic-priority order: the
+// dataflow analyzers (ownership, result lifetime, snapshot symmetry)
+// first, then the syntactic contract checks.
 var suite = []*analysis.Analyzer{
 	retainset.Analyzer,
+	resultlife.Analyzer,
+	snapshotdrift.Analyzer,
 	noalloc.Analyzer,
 	sinkcontract.Analyzer,
 	wraperr.Analyzer,
@@ -44,15 +62,90 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// selectAnalyzers applies -only/-skip to the suite. Unknown names are
+// usage errors: a typo in a CI invocation must fail loudly, not
+// silently lint nothing.
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	if only != "" && skip != "" {
+		return nil, fmt.Errorf("-only and -skip are mutually exclusive")
+	}
+	if only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("-only: unknown analyzer %q (see -analyzers)", name)
+			}
+			want[name] = true
+		}
+		if len(want) == 0 {
+			return nil, fmt.Errorf("-only: no analyzers named")
+		}
+		// Keep suite order rather than flag order so diagnostics sort
+		// the same way no matter how the flag was spelled.
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		return sel, nil
+	}
+	if skip != "" {
+		drop := make(map[string]bool)
+		for _, name := range strings.Split(skip, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("-skip: unknown analyzer %q (see -analyzers)", name)
+			}
+			drop[name] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if !drop[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			return nil, fmt.Errorf("-skip: all analyzers skipped")
+		}
+		return sel, nil
+	}
+	return suite, nil
+}
+
+// githubLine renders a finding as a GitHub Actions workflow command so
+// the Actions runner turns it into an inline annotation on the PR diff.
+// The message data (after ::) must have % newline-escaped per the
+// workflow-command spec; file paths and messages here never contain
+// newlines.
+func githubLine(f analysis.Finding) string {
+	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(f.Message)
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s (%s)", f.File, f.Line, f.Column, msg, f.Analyzer)
+}
+
 // run is the testable entry point: it lints the packages named by args
 // and returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tvqlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	githubOut := fs.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
 	list := fs.Bool("analyzers", false, "list the analyzers in the suite and exit")
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to leave out")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: tvqlint [-json] packages...\n")
+		fmt.Fprintf(stderr, "usage: tvqlint [-json|-github] [-only names | -skip names] packages...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,9 +153,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *list {
 		for _, a := range suite {
-			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *jsonOut && *githubOut {
+		fmt.Fprintln(stderr, "tvqlint: -json and -github are mutually exclusive")
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "tvqlint: %v\n", err)
+		return 2
 	}
 
 	pkgs, err := analysis.Load("", fs.Args()...)
@@ -70,13 +172,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	findings, err := analysis.Run(pkgs, suite)
+	findings, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "\t")
 		if findings == nil {
@@ -86,7 +189,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	case *githubOut:
+		for _, f := range findings {
+			fmt.Fprintln(stdout, githubLine(f))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}

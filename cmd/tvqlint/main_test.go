@@ -85,10 +85,83 @@ func TestRunAnalyzersListsSuite(t *testing.T) {
 	if code := run([]string{"-analyzers"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"retainset", "noalloc", "sinkcontract", "wraperr", "lockorder"} {
+	for _, name := range []string{"retainset", "resultlife", "snapshotdrift", "noalloc", "sinkcontract", "wraperr", "lockorder"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-analyzers output missing %s:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestRunOnlySelectsAnalyzer: -only with an analyzer that has no
+// findings on the red fixture must exit 0, while -only with the one
+// that does must still exit 1 — selection actually narrows the suite.
+func TestRunOnlySelectsAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "wraperr", redFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-only wraperr on the noalloc fixture: exit = %d, want 0; stdout: %s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-only", "noalloc", redFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-only noalloc on the noalloc fixture: exit = %d, want 1", code)
+	}
+	if strings.Contains(stdout.String(), "retainset") {
+		t.Errorf("-only noalloc still ran retainset:\n%s", stdout.String())
+	}
+}
+
+// TestRunSkipDropsAnalyzer: skipping the only analyzer that fires on
+// the red fixture must turn the run clean.
+func TestRunSkipDropsAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-skip", "noalloc", redFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-skip noalloc: exit = %d, want 0; stdout: %s", code, stdout.String())
+	}
+}
+
+func TestRunUnknownAnalyzerExitsTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-only", "nosuchanalyzer", redFixture},
+		{"-skip", "nosuchanalyzer", redFixture},
+		{"-only", "noalloc", "-skip", "wraperr", redFixture},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunGitHubAnnotations pins the -github output contract: one
+// ::error workflow command per finding with file/line/col properties,
+// so the Actions runner renders findings as inline PR annotations.
+func TestRunGitHubAnnotations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-github", redFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("-github reported no findings on a red fixture")
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "::error file=") {
+			t.Errorf("line is not a workflow command: %q", line)
+			continue
+		}
+		if !strings.Contains(line, ",line=") || !strings.Contains(line, ",col=") || !strings.Contains(line, "::") {
+			t.Errorf("annotation missing properties: %q", line)
+		}
+		if !strings.Contains(line, "(noalloc)") {
+			t.Errorf("annotation does not name the analyzer: %q", line)
+		}
+	}
+	// Clean run: no output at all, exit 0.
+	stdout.Reset()
+	if code := run([]string{"-github", cleanPackage}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean -github run: exit = %d, want 0", code)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean -github run produced output: %s", stdout.String())
 	}
 }
 

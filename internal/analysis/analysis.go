@@ -52,6 +52,11 @@ type Pass struct {
 
 	// Report records one diagnostic.
 	Report func(Diagnostic)
+
+	// facts is the run-wide fact table (see facts.go); Run threads one
+	// store through every pass so summaries exported on a dependency
+	// are visible to the same analyzer on its importers.
+	facts *factStore
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

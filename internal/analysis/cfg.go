@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// A control-flow graph over one function body, built from syntax alone.
+// Each Block holds the AST nodes that execute unconditionally once the
+// block is entered — statements, plus the condition expressions of the
+// branches that end it — in execution order, and edges to every
+// possible successor. The builder covers the structured constructs
+// (if/for/range/switch/type-switch/select, labeled break and continue,
+// return); goto conservatively edges to Exit, and function literals are
+// opaque (their bodies are not part of the enclosing CFG — analyzers
+// treat closures separately, as escape points). That is precise enough
+// for the may-alias/escape analyses the suite runs and keeps the
+// builder small.
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Nodes are the statements and branch conditions that execute when
+	// the block runs, in order.
+	Nodes []ast.Node
+	// Succs are the possible successor blocks.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{}
+	b.cfg = &CFG{}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	b.cfg.Exit = b.newBlock()
+	b.curr = entry
+	b.stmtList(body.List)
+	b.edge(b.curr, b.cfg.Exit)
+	return b.cfg
+}
+
+// ReversePostorder returns the blocks in reverse postorder from Entry —
+// the canonical iteration order for a forward dataflow.
+func (c *CFG) ReversePostorder() []*Block {
+	seen := make([]bool, len(c.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+		post = append(post, b)
+	}
+	visit(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// loopFrame records the jump targets of one enclosing loop or switch.
+type loopFrame struct {
+	label          string
+	breakTarget    *Block
+	continueTarget *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg   *CFG
+	curr  *Block
+	loops []loopFrame
+	// pendingLabel is set between a LabeledStmt and the loop/switch it
+	// labels, so break/continue with that label resolve to the right
+	// frame.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil && b.curr != nil {
+		b.curr.Nodes = append(b.curr.Nodes, n)
+	}
+}
+
+// startBlock ends the current block with an edge to next and makes next
+// current.
+func (b *cfgBuilder) startBlock(next *Block) {
+	b.edge(b.curr, next)
+	b.curr = next
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// frame finds the innermost loop frame, or the one matching label.
+func (b *cfgBuilder) frame(label string, needContinue bool) *loopFrame {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := &b.loops[i]
+		if needContinue && f.continueTarget == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label names the statement it precedes; loops and switches
+		// consume it for labeled break/continue. A labeled plain
+		// statement just flows through.
+		head := b.newBlock()
+		b.startBlock(head)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		then := b.newBlock()
+		join := b.newBlock()
+		cond := b.curr
+		b.curr = then
+		b.edge(cond, then)
+		b.stmt(s.Body)
+		b.edge(b.curr, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.curr = els
+			b.stmt(s.Else)
+			b.edge(b.curr, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.curr = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edge(head, join) // condition false
+		}
+		// A condition-less `for` reaches join only through break edges.
+		b.edge(head, body)
+		b.loops = append(b.loops, loopFrame{label: label, breakTarget: join, continueTarget: post})
+		b.curr = body
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		if s.Post != nil {
+			b.edge(b.curr, post)
+			b.curr = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.curr, head)
+		b.curr = join
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.startBlock(head)
+		// The per-iteration key/value assignment lives in the loop head:
+		// it executes before every iteration.
+		b.add(s)
+		b.edge(head, body)
+		b.edge(head, join) // range exhausted
+		b.loops = append(b.loops, loopFrame{label: label, breakTarget: join, continueTarget: head})
+		b.curr = body
+		b.stmt(s.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.edge(b.curr, head)
+		b.curr = join
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		b.switchLike(s, label)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.curr, b.cfg.Exit)
+		b.curr = b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if f := b.frame(lbl, false); f != nil {
+				b.edge(b.curr, f.breakTarget)
+			}
+			b.curr = b.newBlock()
+		case "continue":
+			if f := b.frame(lbl, true); f != nil {
+				b.edge(b.curr, f.continueTarget)
+			}
+			b.curr = b.newBlock()
+		case "goto":
+			// Conservative: a goto leaves the structured flow; treat it
+			// like a return so nothing downstream is assumed to run.
+			b.edge(b.curr, b.cfg.Exit)
+			b.curr = b.newBlock()
+		case "fallthrough":
+			// Handled by switchLike's sequential case wiring; the
+			// statement itself carries no dataflow.
+		}
+
+	default:
+		// Plain statements — assignments, declarations, expression and
+		// send statements, go/defer, inc/dec, empty — are single nodes.
+		b.add(s)
+	}
+}
+
+// switchLike wires switch, type-switch and select statements: an
+// optional init/tag in the current block, one block per clause body,
+// all meeting at a join. fallthrough edges each case body to the next.
+func (b *cfgBuilder) switchLike(s ast.Stmt, label string) {
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	head := b.curr
+	join := b.newBlock()
+	b.loops = append(b.loops, loopFrame{label: label, breakTarget: join})
+
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(head, bodies[i])
+	}
+	for i, c := range clauses {
+		var list []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				bodies[i].Nodes = append(bodies[i].Nodes, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			list = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				bodies[i].Nodes = append(bodies[i].Nodes, c.Comm)
+			} else {
+				hasDefault = true
+			}
+			list = c.Body
+		}
+		b.curr = bodies[i]
+		// Peel a trailing fallthrough into an edge to the next body.
+		fellThrough := false
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && i+1 < len(bodies) {
+				fellThrough = true
+			}
+		}
+		b.stmtList(list)
+		if fellThrough {
+			b.edge(b.curr, bodies[i+1])
+		} else {
+			b.edge(b.curr, join)
+		}
+	}
+	if !hasDefault || len(clauses) == 0 {
+		// No default: the switch may match nothing (or a select would
+		// block — for dataflow, assume it may complete).
+		b.edge(head, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.curr = join
+}

@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks src (a complete file) and returns the named
+// function's declaration plus the pass-shaped context around it.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn, info, fset
+		}
+	}
+	t.Fatalf("no func %s in source", name)
+	return nil, nil, nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f() { x := 1; y := x; _ = y }`, "f")
+	c := NewCFG(fn.Body)
+	if len(c.Entry.Nodes) != 3 {
+		t.Fatalf("entry holds %d nodes, want 3", len(c.Entry.Nodes))
+	}
+	if len(c.Entry.Succs) != 1 || c.Entry.Succs[0] != c.Exit {
+		t.Fatalf("entry does not flow straight to exit: %v", c.Entry.Succs)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(b bool) int {
+	x := 0
+	if b {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	c := NewCFG(fn.Body)
+	// Entry ends with the condition and branches two ways.
+	if len(c.Entry.Succs) != 2 {
+		t.Fatalf("if-condition block has %d successors, want 2", len(c.Entry.Succs))
+	}
+	// Both branches reach the same join, which reaches exit.
+	j1, j2 := c.Entry.Succs[0].Succs, c.Entry.Succs[1].Succs
+	if len(j1) != 1 || len(j2) != 1 || j1[0] != j2[0] {
+		t.Fatalf("branches do not meet at one join: %v vs %v", j1, j2)
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 2 {
+			break
+		}
+		if i == 1 {
+			continue
+		}
+		_ = i
+	}
+}`, "f")
+	c := NewCFG(fn.Body)
+	// The head must appear among some block's successors twice over the
+	// graph: once from entry, once from the back edge (via post).
+	preds := make(map[*Block]int)
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			preds[s]++
+		}
+	}
+	multi := 0
+	for _, n := range preds {
+		if n >= 2 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no block with 2+ predecessors: loop back edge missing")
+	}
+	// Every block is reachable or trivially empty; RPO covers entry.
+	rpo := c.ReversePostorder()
+	if rpo[0] != c.Entry {
+		t.Fatal("reverse postorder does not start at entry")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	r := 0
+	switch n {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r = 2
+	default:
+		r = 3
+	}
+	return r
+}`, "f")
+	c := NewCFG(fn.Body)
+	// Find the case-1 body (holds `r = 1`) and check it edges to the
+	// case-2 body rather than the join.
+	var case1, case2 *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+					switch lit.Value {
+					case "1":
+						if _, isCase := as.Lhs[0].(*ast.Ident); isCase {
+							case1 = b
+						}
+					case "2":
+						case2 = b
+					}
+				}
+			}
+		}
+	}
+	if case1 == nil || case2 == nil {
+		t.Fatal("could not locate case bodies")
+	}
+	found := false
+	for _, s := range case1.Succs {
+		if s == case2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fallthrough edge missing: case1 succs %v, want %v", case1.Succs, case2)
+	}
+}
+
+func TestCFGRangeAndReturn(t *testing.T) {
+	fn, _, _ := parseFunc(t, `package p
+func f(xs []int) int {
+	for _, x := range xs {
+		if x > 10 {
+			return x
+		}
+	}
+	return 0
+}`, "f")
+	c := NewCFG(fn.Body)
+	// Exit must have at least two incoming return edges.
+	n := 0
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			if s == c.Exit {
+				n++
+			}
+		}
+	}
+	if n < 2 {
+		t.Fatalf("exit has %d predecessors, want >= 2 (two returns)", n)
+	}
+}
+
+// TestForwardReachingBorrow runs the generic solver with a toy "borrow
+// reaches here" analysis: x borrowed at entry, laundered on one branch,
+// and checks the join sees the surviving borrow (may-analysis).
+func TestForwardReachingBorrow(t *testing.T) {
+	fn, info, _ := parseFunc(t, `package p
+func clean(x []int) []int { return append([]int(nil), x...) }
+func f(x []int, b bool) []int {
+	if b {
+		x = clean(x)
+	}
+	return x
+}`, "f")
+	c := NewCFG(fn.Body)
+	xObj := info.Defs[fn.Type.Params.List[0].Names[0]]
+
+	type state = map[types.Object]bool // borrowed?
+	clone := func(s state) state {
+		if s == nil {
+			return nil
+		}
+		out := make(state, len(s))
+		for k, v := range s {
+			out[k] = v
+		}
+		return out
+	}
+	transfer := func(b *Block, s state) state {
+		if s == nil {
+			return nil
+		}
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				// x = clean(x) launders.
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if _, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+						if obj := info.Uses[id]; obj != nil {
+							s[obj] = false
+						}
+					}
+				}
+			}
+		}
+		return s
+	}
+	join := func(into, from state) (state, bool) {
+		if from == nil {
+			return into, false
+		}
+		if into == nil {
+			return clone(from), true
+		}
+		changed := false
+		for k, v := range from {
+			if v && !into[k] {
+				into[k] = true
+				changed = true
+			}
+		}
+		return into, changed
+	}
+
+	ins := Forward(c, state{xObj: true}, clone, transfer, join)
+	exitIn := ins[c.Exit.Index]
+	if exitIn == nil || !exitIn[xObj] {
+		t.Fatalf("exit in-state %v: borrow must survive the unlaundered path", exitIn)
+	}
+}
+
+type testFact struct{ N int }
+
+func (*testFact) AFact() {}
+
+func TestFactsRoundTripAcrossPasses(t *testing.T) {
+	fn, info, fset := parseFunc(t, `package p
+func Helper() {}
+func f() { Helper() }`, "f")
+	_ = fn
+	var helper types.Object
+	for _, obj := range info.Defs {
+		if obj != nil && obj.Name() == "Helper" {
+			helper = obj
+		}
+	}
+	if helper == nil {
+		t.Fatal("no Helper object")
+	}
+
+	a := &Analyzer{Name: "t"}
+	store := newFactStore()
+	p1 := &Pass{Analyzer: a, Fset: fset, facts: store}
+	p1.ExportObjectFact(helper, &testFact{N: 42})
+
+	// A second pass (same analyzer, same store) sees the fact; a pass
+	// for a different analyzer does not.
+	p2 := &Pass{Analyzer: a, Fset: fset, facts: store}
+	var got testFact
+	if !p2.ImportObjectFact(helper, &got) || got.N != 42 {
+		t.Fatalf("fact did not round-trip: ok=%v n=%d", p2.ImportObjectFact(helper, &got), got.N)
+	}
+	p3 := &Pass{Analyzer: &Analyzer{Name: "other"}, Fset: fset, facts: store}
+	if p3.ImportObjectFact(helper, &got) {
+		t.Fatal("fact leaked across analyzer namespaces")
+	}
+	if all := p2.AllObjectFacts(); len(all) != 1 || all[0].Object != "p.Helper" {
+		t.Fatalf("AllObjectFacts = %v", all)
+	}
+}
+
+func TestObjectKeyShapes(t *testing.T) {
+	_, info, _ := parseFunc(t, `package p
+type T struct{}
+func (t *T) M() {}
+func F() {}`, "F")
+	keys := make(map[string]bool)
+	for _, obj := range info.Defs {
+		if obj == nil {
+			continue
+		}
+		if k := ObjectKey(obj); k != "" {
+			keys[k] = true
+		}
+	}
+	for _, want := range []string{"p.F", "(*p.T).M"} {
+		if !keys[want] {
+			t.Errorf("missing object key %q in %v", want, keys)
+		}
+	}
+}
+
+func TestSortDepsOrdersImportsFirst(t *testing.T) {
+	// Build two real packages where b imports a, hand Run's sorter the
+	// reversed order, and check a comes out first.
+	pkgs, err := Load("", "tvq/internal/analysis", "tvq/internal/analysis/retainset")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	// retainset imports analysis.
+	var rev []*Package
+	for i := len(pkgs) - 1; i >= 0; i-- {
+		rev = append(rev, pkgs[i])
+	}
+	for _, in := range [][]*Package{pkgs, rev} {
+		sorted := sortDeps(in)
+		iA, iR := -1, -1
+		for i, p := range sorted {
+			if strings.HasSuffix(p.PkgPath, "internal/analysis") {
+				iA = i
+			}
+			if strings.HasSuffix(p.PkgPath, "retainset") {
+				iR = i
+			}
+		}
+		if iA == -1 || iR == -1 || iA > iR {
+			t.Fatalf("dependency order wrong: analysis at %d, retainset at %d", iA, iR)
+		}
+	}
+}

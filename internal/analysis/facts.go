@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Facts are the cross-package half of the dataflow engine, mirroring
+// golang.org/x/tools/go/analysis facts: an analyzer running on package
+// P may attach a Fact to any object P declares (a function's retention
+// summary, a method's result-lifetime contract), and the same analyzer
+// running later on a package that imports P can retrieve it. The
+// multichecker runs packages in dependency order (see Run), so by the
+// time a caller is analyzed, every callee in the module has already
+// published its summary — interprocedural results flow through the
+// package DAG without any analyzer loading more than one package's
+// syntax at a time.
+//
+// Objects are keyed by their stable printed name (ObjectKey), not by
+// types.Object identity: a target package is type-checked from source
+// while its importers see it through compiler export data, so the same
+// declaration is represented by distinct objects in the two views. The
+// printed key — package path plus qualified name, e.g.
+// "(*tvq/internal/core.table).decode" — is identical in both.
+
+// Fact is a datum attached to a declared object by an analyzer on the
+// object's own package and visible to the same analyzer on importing
+// packages. Implementations are pointer types carrying plain data; the
+// marker method keeps arbitrary values from being stored by accident.
+type Fact interface{ AFact() }
+
+// factKey identifies one stored fact: the analyzer that owns it (facts
+// are namespaced per analyzer), the object it describes, and the fact's
+// dynamic type (one analyzer may attach several kinds).
+type factKey struct {
+	analyzer string
+	object   string
+	factType reflect.Type
+}
+
+// factStore is the run-wide fact table, owned by Run and threaded
+// through every Pass.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]Fact)}
+}
+
+// ObjectKey returns the stable cross-package key for obj, or "" when
+// the object cannot carry facts (no package, e.g. builtins). Functions
+// and methods use types.Func.FullName, which qualifies the receiver —
+// "(tvq/internal/core.Generator).Process" names the interface method
+// and "(*tvq/internal/core.table).Process" the concrete one — so the
+// two never collide.
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// ExportObjectFact publishes fact for obj under the running analyzer's
+// namespace. Re-exporting replaces the previous value (summaries are
+// recomputed to a fixed point within a package).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || fact == nil {
+		return
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, key, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportObjectFact copies the fact previously exported for obj (by this
+// analyzer, on this or an already-analyzed package) into ptr, which
+// must be a pointer of the same concrete type, and reports whether one
+// was found. ptr is left untouched when absent.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	f, ok := p.facts.m[factKey{p.Analyzer.Name, key, reflect.TypeOf(ptr)}]
+	if !ok {
+		return false
+	}
+	pv := reflect.ValueOf(ptr)
+	fv := reflect.ValueOf(f)
+	if pv.Type() != fv.Type() || pv.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: ImportObjectFact(%s): fact type %T does not match %T", key, f, ptr))
+	}
+	pv.Elem().Set(fv.Elem())
+	return true
+}
+
+// AllObjectFacts returns every (object key, fact) pair the running
+// analyzer has exported so far, sorted by key — for debugging and for
+// the engine's own tests.
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	var out []ObjectFact
+	for k, f := range p.facts.m {
+		if k.analyzer == p.Analyzer.Name {
+			out = append(out, ObjectFact{Object: k.object, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out
+}
+
+// ObjectFact pairs an object key with one exported fact.
+type ObjectFact struct {
+	Object string
+	Fact   Fact
+}

@@ -1,0 +1,43 @@
+package analysis
+
+// Forward runs a forward dataflow over a CFG to a fixed point and
+// returns the in-state of every block, indexed by Block.Index.
+//
+// The state type S is analyzer-defined; nil/zero means "unreached"
+// (bottom). The callbacks:
+//
+//   - clone(s) returns an independent copy transfer may mutate;
+//     clone of the bottom state returns bottom.
+//   - transfer(b, s) pushes state s through block b's nodes and returns
+//     the out-state; it receives a fresh clone and may mutate it.
+//     Bottom in, bottom out.
+//   - join(into, from) merges from into into, returning the merged
+//     state and whether it changed; it must not retain or mutate from
+//     (copy what it adopts). join(bottom, s) = (copy of s, true).
+//
+// The analyses this engine hosts use finite join-semilattices (borrow
+// bitmasks, staleness flags), so monotone transfer functions converge;
+// maxIter bounds runaway non-monotone transfers defensively — the
+// analyzers' lattices are a few levels tall, so real convergence is
+// fast.
+func Forward[S any](c *CFG, entry S, clone func(S) S, transfer func(*Block, S) S, join func(into, from S) (S, bool)) []S {
+	ins := make([]S, len(c.Blocks))
+	ins[c.Entry.Index] = entry
+	rpo := c.ReversePostorder()
+	const maxIter = 64
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, b := range rpo {
+			out := transfer(b, clone(ins[b.Index]))
+			for _, s := range b.Succs {
+				var ch bool
+				ins[s.Index], ch = join(ins[s.Index], out)
+				changed = changed || ch
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ins
+}

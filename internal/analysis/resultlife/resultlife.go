@@ -1,0 +1,699 @@
+// Package resultlife checks the result-lifetime contract of the
+// generator pipeline: a function marked //tvq:ephemeral (on its doc
+// comment, or on the interface method it implements) returns results
+// that are only valid until the next such call on the same value —
+// core.Generator.Process reuses its emission buffer and recycles dead
+// states, so holding the previous slice across a call reads recycled
+// memory. The bug class comes straight from the Generator doc ("both
+// the slice and the states it points to are only valid until the next
+// call to Process"): the engine's evaluation loop got this right only
+// by convention, and nothing caught a caller that didn't.
+//
+// The analyzer runs a forward dataflow per function over the shared
+// CFG. Each value derived from an ephemeral call is tagged with the
+// call's source (the receiver the call was made on); a later ephemeral
+// call on the same source marks every value carrying its tag stale.
+// Diagnostics fire on two events:
+//
+//   - a stale value is read — "used after a subsequent call
+//     invalidated it";
+//   - an ephemeral value is stored into state that outlives the call
+//     (a receiver field or package-level variable) without copying
+//     out what must survive.
+//
+// Tags flow through aliasing operations only: selectors, indexing,
+// slicing, append, composite literals, conversions. Extracting a
+// scalar (r.N, len(rs)) drops the tag, so the copy-out idiom the
+// engine uses stays clean.
+//
+// Ephemerality itself propagates two ways. Within a package, a helper
+// that returns a tagged value becomes ephemeral by a package-level
+// fixpoint. Across packages, both annotated and derived functions are
+// published as EphemeralFacts, so callers in importing packages —
+// analyzed later, in dependency order — see the contract without any
+// annotation of their own. Annotating an interface method (the
+// Generator interface carries the directive) covers every dynamic call
+// through that interface.
+//
+// Out of scope, deliberately: closures are opaque (uses inside a
+// FuncLit are not checked), sends of ephemeral values on channels are
+// not flagged, and a call on one source never invalidates results from
+// another — each receiver has its own buffer.
+package resultlife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tvq/internal/analysis"
+)
+
+// EphemeralFact marks a function whose results are valid only until
+// the next ephemeral call on the same receiver — either annotated
+// //tvq:ephemeral or derived (it returns another ephemeral function's
+// result).
+type EphemeralFact struct{}
+
+// AFact marks EphemeralFact as a fact type.
+func (*EphemeralFact) AFact() {}
+
+// Analyzer is the resultlife invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "resultlife",
+	Doc: "resultlife: results of //tvq:ephemeral calls (Generator.Process and friends) are " +
+		"valid only until the next call on the same receiver; flag uses after invalidation " +
+		"and stores into state that outlives the call",
+	Run: run,
+}
+
+// maxRounds bounds the package-level derived-ephemerality fixpoint;
+// helper chains deeper than this are absurd in practice.
+const maxRounds = 8
+
+type checker struct {
+	pass *analysis.Pass
+	// eph holds the functions known ephemeral in this package's view:
+	// seeded from //tvq:ephemeral directives, grown by the derived
+	// fixpoint.
+	eph map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, eph: make(map[*types.Func]bool)}
+
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if analysis.HasEphemeralDirective(n.Doc) {
+					if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+						c.eph[fn] = true
+					}
+				}
+				if n.Body != nil {
+					decls = append(decls, n)
+				}
+			case *ast.InterfaceType:
+				if n.Methods == nil {
+					return true
+				}
+				for _, fld := range n.Methods.List {
+					if !analysis.HasEphemeralDirective(fld.Doc) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if fn, ok := pass.TypesInfo.Defs[name].(*types.Func); ok {
+							c.eph[fn] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Derived ephemerality: a function returning a tagged value is
+	// itself ephemeral. Iterate to a fixed point so chains of helpers
+	// resolve regardless of declaration order.
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, fn := range decls {
+			if !c.analyzeFunc(fn, false) {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if ok && !c.eph[obj] {
+				c.eph[obj] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for fn := range c.eph {
+		if fn.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(fn, &EphemeralFact{})
+		}
+	}
+
+	for _, fn := range decls {
+		c.analyzeFunc(fn, true)
+	}
+	return nil
+}
+
+// isEphemeral reports whether fn's results die at the next call:
+// locally known (annotated or derived) or published by an
+// already-analyzed package.
+func (c *checker) isEphemeral(fn *types.Func) bool {
+	if c.eph[fn] {
+		return true
+	}
+	var f EphemeralFact
+	return c.pass.ImportObjectFact(fn, &f)
+}
+
+// vtag is the per-variable lattice value: the set of sources (as a
+// bitmask over lazily numbered receiver objects) whose next ephemeral
+// call invalidates the value, and whether that call has happened.
+type vtag struct {
+	src   uint64
+	stale bool
+}
+
+// state maps in-scope objects to their tags; nil is bottom
+// (unreached).
+type state map[types.Object]vtag
+
+func cloneState(s state) state {
+	if s == nil {
+		return nil
+	}
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func joinState(into, from state) (state, bool) {
+	if from == nil {
+		return into, false
+	}
+	if into == nil {
+		return cloneState(from), true
+	}
+	changed := false
+	for obj, ft := range from {
+		it := into[obj]
+		nt := vtag{src: it.src | ft.src, stale: it.stale || ft.stale}
+		if nt != it {
+			into[obj] = nt
+			changed = true
+		}
+	}
+	return into, changed
+}
+
+// scope carries one function's analysis context; it is shared between
+// the silent fixpoint and the emitting replay so source numbering
+// stays consistent.
+type scope struct {
+	c    *checker
+	info *types.Info
+	recv types.Object
+	// srcIdx numbers the source objects seen in this function; index
+	// 62 is a shared overflow bucket (a function juggling 63 distinct
+	// generators merges them conservatively).
+	srcIdx map[types.Object]int
+	// pend accumulates the source bits of ephemeral calls in the node
+	// being processed; applySweep turns them into staleness.
+	pend uint64
+	emit bool
+	// reported dedupes stale-use diagnostics to one per variable per
+	// function — staleness is sticky, and one report names the bug.
+	reported map[types.Object]bool
+	retEph   bool
+}
+
+// analyzeFunc runs the dataflow over one function body and reports
+// whether it returns an ephemeral value. With emit set it additionally
+// replays every reached block once against the fixpoint in-states and
+// reports diagnostics.
+func (c *checker) analyzeFunc(fn *ast.FuncDecl, emit bool) bool {
+	sc := &scope{
+		c:        c,
+		info:     c.pass.TypesInfo,
+		srcIdx:   make(map[types.Object]int),
+		reported: make(map[types.Object]bool),
+	}
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		sc.recv = c.pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+	}
+	cf := analysis.NewCFG(fn.Body)
+	ins := analysis.Forward(cf, state{}, cloneState,
+		func(b *analysis.Block, s state) state {
+			if s == nil {
+				return nil
+			}
+			for _, n := range b.Nodes {
+				sc.node(n, s)
+			}
+			return s
+		}, joinState)
+	if emit {
+		sc.emit = true
+		for _, b := range cf.Blocks {
+			s := cloneState(ins[b.Index])
+			if s == nil {
+				continue
+			}
+			for _, n := range b.Nodes {
+				sc.node(n, s)
+			}
+		}
+	}
+	return sc.retEph
+}
+
+// node pushes one CFG node through the state: check reads of stale
+// values against the pre-state, evaluate right-hand sides (registering
+// any ephemeral calls), sweep staleness, then bind left-hand sides —
+// in that order, so `a := p.Process(f)` invalidates the previous
+// result without tainting a itself.
+func (sc *scope) node(n ast.Node, s state) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		sc.assign(n, s)
+	case *ast.DeclStmt:
+		sc.declStmt(n, s)
+	case *ast.RangeStmt:
+		sc.rangeHead(n, s)
+	case *ast.ReturnStmt:
+		sc.checkUses(n, s, nil)
+		sc.pend = 0
+		for _, r := range n.Results {
+			if t := sc.eval(r, s); t.src != 0 {
+				sc.retEph = true
+			}
+		}
+		sc.applySweep(s)
+	case *ast.ExprStmt:
+		sc.checkUses(n, s, nil)
+		sc.pend = 0
+		sc.eval(n.X, s)
+		sc.applySweep(s)
+	case *ast.GoStmt:
+		sc.checkUses(n.Call, s, nil)
+		sc.pend = 0
+		sc.eval(n.Call, s)
+		sc.applySweep(s)
+	case *ast.DeferStmt:
+		sc.checkUses(n.Call, s, nil)
+		sc.pend = 0
+		sc.eval(n.Call, s)
+		sc.applySweep(s)
+	case *ast.SendStmt:
+		sc.checkUses(n, s, nil)
+		sc.pend = 0
+		sc.eval(n.Chan, s)
+		sc.eval(n.Value, s)
+		sc.applySweep(s)
+	case ast.Expr:
+		// Branch conditions placed in the block by the CFG builder.
+		sc.checkUses(n, s, nil)
+		sc.pend = 0
+		sc.eval(n, s)
+		sc.applySweep(s)
+	default:
+		sc.checkUses(n, s, nil)
+	}
+}
+
+func (sc *scope) assign(n *ast.AssignStmt, s state) {
+	// Plain-identifier targets of = and := are writes, not reads; a
+	// stale variable may be overwritten freely.
+	skip := make(map[*ast.Ident]bool)
+	if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+		for _, l := range n.Lhs {
+			if id, ok := unparen(l).(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	}
+	sc.checkUses(n, s, skip)
+	sc.pend = 0
+	tags := make([]vtag, len(n.Lhs))
+	switch {
+	case len(n.Rhs) == len(n.Lhs):
+		for i, r := range n.Rhs {
+			tags[i] = sc.eval(r, s)
+		}
+	case len(n.Rhs) == 1:
+		// Multi-value form: every target shares the call's tag.
+		t := sc.eval(n.Rhs[0], s)
+		for i := range tags {
+			tags[i] = t
+		}
+	}
+	sc.applySweep(s)
+	for i, l := range n.Lhs {
+		sc.assignTo(l, tags[i], s)
+	}
+}
+
+func (sc *scope) declStmt(n *ast.DeclStmt, s state) {
+	gd, ok := n.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		sc.checkUses(vs, s, nil)
+		sc.pend = 0
+		tags := make([]vtag, len(vs.Names))
+		switch {
+		case len(vs.Values) == len(vs.Names):
+			for i, v := range vs.Values {
+				tags[i] = sc.eval(v, s)
+			}
+		case len(vs.Values) == 1:
+			t := sc.eval(vs.Values[0], s)
+			for i := range tags {
+				tags[i] = t
+			}
+		}
+		sc.applySweep(s)
+		for i, name := range vs.Names {
+			if obj := sc.info.Defs[name]; obj != nil {
+				s[obj] = sc.gate(tags[i], obj.Type())
+			}
+		}
+	}
+}
+
+// rangeHead handles the per-iteration head of a range loop: the range
+// operand is read (and may itself be an ephemeral call — swept every
+// iteration, which correctly stales the previous iteration's bindings
+// before rebinding them fresh).
+func (sc *scope) rangeHead(n *ast.RangeStmt, s state) {
+	sc.checkUses(n.X, s, nil)
+	sc.pend = 0
+	t := sc.eval(n.X, s)
+	sc.applySweep(s)
+	for _, e := range []ast.Expr{n.Key, n.Value} {
+		if e == nil {
+			continue
+		}
+		sc.assignTo(e, t, s)
+	}
+}
+
+func (sc *scope) assignTo(l ast.Expr, t vtag, s state) {
+	if id, ok := unparen(l).(*ast.Ident); ok {
+		obj := sc.info.Defs[id]
+		if obj == nil {
+			obj = sc.info.Uses[id]
+		}
+		if obj == nil {
+			return // blank identifier
+		}
+		s[obj] = sc.gate(t, obj.Type())
+		return
+	}
+	if t.src == 0 && !t.stale {
+		return
+	}
+	if root := sc.rootObj(l); root != nil {
+		if root == sc.recv || isGlobal(root) {
+			if sc.emit {
+				sc.c.pass.Reportf(l.Pos(),
+					"ephemeral result stored into state that outlives the call (results are only valid until the next call; copy out what must survive)")
+			}
+			return
+		}
+		// A write into a local container keeps the tag alive through
+		// the container.
+		old := s[root]
+		s[root] = vtag{src: old.src | t.src, stale: old.stale || t.stale}
+	}
+}
+
+// checkUses reports reads of stale variables in n against the
+// pre-state. Closure bodies are opaque, and idents in skip (plain
+// assignment targets) are writes.
+func (sc *scope) checkUses(n ast.Node, s state, skip map[*ast.Ident]bool) {
+	if !sc.emit || n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if skip[x] {
+				return true
+			}
+			obj := sc.info.Uses[x]
+			if obj == nil || !s[obj].stale || sc.reported[obj] {
+				return true
+			}
+			sc.reported[obj] = true
+			sc.c.pass.Reportf(x.Pos(),
+				"ephemeral result %s used after a subsequent call invalidated it (results are only valid until the next call; copy out what must survive)", x.Name)
+		}
+		return true
+	})
+}
+
+// applySweep marks every value carrying a pending source bit stale:
+// the ephemeral call just evaluated invalidated them.
+func (sc *scope) applySweep(s state) {
+	if sc.pend == 0 {
+		return
+	}
+	for obj, t := range s {
+		if t.src&sc.pend != 0 && !t.stale {
+			t.stale = true
+			s[obj] = t
+		}
+	}
+	sc.pend = 0
+}
+
+// eval computes the tag of an expression, registering any ephemeral
+// calls it contains. The result is gated on the expression's type: a
+// value that cannot alias generator storage (an int pulled out of a
+// result) carries no tag.
+func (sc *scope) eval(e ast.Expr, s state) vtag {
+	t := sc.evalRaw(e, s)
+	if t.src != 0 || t.stale {
+		if tv, ok := sc.info.Types[e]; ok {
+			t = sc.gate(t, tv.Type)
+		}
+	}
+	return t
+}
+
+func (sc *scope) gate(t vtag, typ types.Type) vtag {
+	if (t.src != 0 || t.stale) && !aliasable(typ, 0) {
+		return vtag{}
+	}
+	return t
+}
+
+func (sc *scope) evalRaw(e ast.Expr, s state) vtag {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := sc.info.Uses[e]; obj != nil {
+			return s[obj]
+		}
+		return vtag{}
+	case *ast.ParenExpr:
+		return sc.eval(e.X, s)
+	case *ast.StarExpr:
+		return sc.eval(e.X, s)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := sc.info.Uses[id].(*types.PkgName); isPkg {
+				return vtag{}
+			}
+		}
+		return sc.eval(e.X, s)
+	case *ast.IndexExpr:
+		sc.eval(e.Index, s)
+		return sc.eval(e.X, s)
+	case *ast.SliceExpr:
+		for _, b := range []ast.Expr{e.Low, e.High, e.Max} {
+			if b != nil {
+				sc.eval(b, s)
+			}
+		}
+		return sc.eval(e.X, s)
+	case *ast.UnaryExpr:
+		t := sc.eval(e.X, s)
+		if e.Op == token.AND {
+			return t
+		}
+		return vtag{}
+	case *ast.BinaryExpr:
+		sc.eval(e.X, s)
+		sc.eval(e.Y, s)
+		return vtag{}
+	case *ast.CompositeLit:
+		var u vtag
+		for _, elt := range e.Elts {
+			t := sc.eval(elt, s)
+			u.src |= t.src
+			u.stale = u.stale || t.stale
+		}
+		return u
+	case *ast.KeyValueExpr:
+		return sc.eval(e.Value, s)
+	case *ast.TypeAssertExpr:
+		return sc.eval(e.X, s)
+	case *ast.CallExpr:
+		return sc.call(e, s)
+	default:
+		// FuncLit (opaque), literals, type expressions.
+		return vtag{}
+	}
+}
+
+func (sc *scope) call(e *ast.CallExpr, s state) vtag {
+	// Conversions pass the operand's tag through.
+	if tv, ok := sc.info.Types[e.Fun]; ok && tv.IsType() {
+		if len(e.Args) == 1 {
+			return sc.eval(e.Args[0], s)
+		}
+		return vtag{}
+	}
+	var argU vtag
+	for _, a := range e.Args {
+		t := sc.eval(a, s)
+		argU.src |= t.src
+		argU.stale = argU.stale || t.stale
+	}
+	if id, ok := unparen(e.Fun).(*ast.Ident); ok {
+		if b, ok := sc.info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				// A shallow copy of the slice still points at recycled
+				// results, so the tag survives append-cloning — only
+				// copying the values out drops it.
+				return argU
+			}
+			return vtag{}
+		}
+	}
+	fn := sc.calleeFunc(e)
+	if fn != nil && sc.c.isEphemeral(fn) {
+		bit := uint64(1) << sc.srcIndex(sc.callSource(e, fn))
+		sc.pend |= bit
+		return vtag{src: bit}
+	}
+	return vtag{}
+}
+
+// callSource picks the object whose later calls invalidate this call's
+// result: the receiver the method was called on, else the first
+// argument's root (for helpers like Latest(g)), else the callee
+// itself.
+func (sc *scope) callSource(e *ast.CallExpr, fn *types.Func) types.Object {
+	if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+		root := sc.rootObj(sel.X)
+		if _, isPkg := root.(*types.PkgName); root != nil && !isPkg {
+			return root
+		}
+	}
+	if len(e.Args) > 0 {
+		if root := sc.rootObj(e.Args[0]); root != nil {
+			return root
+		}
+	}
+	return fn
+}
+
+func (sc *scope) srcIndex(obj types.Object) uint64 {
+	if k, ok := sc.srcIdx[obj]; ok {
+		return uint64(k)
+	}
+	k := len(sc.srcIdx)
+	if k > 62 {
+		k = 62
+	}
+	sc.srcIdx[obj] = k
+	return uint64(k)
+}
+
+func (sc *scope) calleeFunc(e *ast.CallExpr) *types.Func {
+	switch f := unparen(e.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := sc.info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := sc.info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// rootObj resolves the base object of an access path.
+func (sc *scope) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := sc.info.Uses[x]; o != nil {
+				return o
+			}
+			return sc.info.Defs[x]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isGlobal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// aliasable reports whether a value of type t can share storage with a
+// generator's result buffer: anything holding a pointer, slice, map,
+// channel, interface, or function. Scalars and strings copied out of a
+// result are safe.
+func aliasable(t types.Type, depth int) bool {
+	if t == nil {
+		return false
+	}
+	if depth > 3 {
+		return true // deep nesting: assume the worst
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	case *types.Array:
+		return aliasable(u.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasable(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,35 @@
+package resultlife_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/resultlife"
+)
+
+func TestResultlife(t *testing.T) {
+	findings := analysis.RunFixture(t, resultlife.Analyzer, "testdata/src/a")
+	// The red cases must stay red: stale reads after invalidation,
+	// stores into outliving state, the derived-helper and interface
+	// forms of the contract.
+	if len(findings) < 5 {
+		t.Fatalf("resultlife found %d diagnostics on the fixture, want at least 5", len(findings))
+	}
+}
+
+// TestResultlifeCrossPackage exercises the EphemeralFact path: the
+// annotated producer lives in one package, the unannotated consumer in
+// another, and the diagnostics exist only if both the annotated and
+// the derived facts survive the package boundary.
+func TestResultlifeCrossPackage(t *testing.T) {
+	findings := analysis.RunFixtureTree(t, resultlife.Analyzer, "testdata/src/cross")
+	if len(findings) < 3 {
+		t.Fatalf("cross-package fixture produced %d diagnostics, want at least 3", len(findings))
+	}
+	for _, f := range findings {
+		if filepath.Base(filepath.Dir(f.File)) != "consumer" {
+			t.Errorf("diagnostic outside the consumer package: %s", f)
+		}
+	}
+}

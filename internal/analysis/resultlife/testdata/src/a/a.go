@@ -1,0 +1,118 @@
+// Package a is the single-package resultlife fixture: a miniature
+// generator with a reused emission buffer, exercised by callers that
+// hold results across calls (red) and callers that copy out in time
+// (clean).
+package a
+
+type res struct{ n int }
+
+// producer mimics the Generator contract: Process returns a slice
+// backed by a buffer the next call reuses.
+type producer struct {
+	last []*res
+	emit []*res
+}
+
+// Process returns the current result set; the slice and the results it
+// points to are reused on the next call.
+//
+//tvq:ephemeral
+func (p *producer) Process(x int) []*res {
+	p.emit = p.emit[:0]
+	p.emit = append(p.emit, &res{n: x})
+	return p.emit
+}
+
+func use(rs []*res) int {
+	t := 0
+	for _, r := range rs {
+		t += r.n
+	}
+	return t
+}
+
+// grab returns Process's result unchanged, so its own result is
+// ephemeral too — derived, not annotated.
+func grab(p *producer) []*res { return p.Process(0) }
+
+// Red 1 — the first result is read after the second call recycled it.
+func StaleUse(p *producer) int {
+	a := p.Process(1)
+	b := p.Process(2)
+	return use(a) + use(b) // want `ephemeral result a used after a subsequent call`
+}
+
+// Red 2 — the ephemeral slice survives the call inside the receiver.
+func (p *producer) Remember(x int) {
+	p.last = p.Process(x) // want `ephemeral result stored into state that outlives the call`
+}
+
+// Red 3 — the invalidation reaches results of derived helpers.
+func StaleViaHelper(p *producer) int {
+	a := grab(p)
+	_ = p.Process(1)
+	return use(a) // want `ephemeral result a used after a subsequent call`
+}
+
+// Red 4 — an element pointer is as dead as the slice it came from.
+func StaleElement(p *producer) int {
+	first := p.Process(1)[0]
+	_ = p.Process(2)
+	return first.n // want `ephemeral result first used after a subsequent call`
+}
+
+// gen is the interface-method form of the annotation: every dynamic
+// call through it is ephemeral.
+type gen interface {
+	//tvq:ephemeral
+	Process(x int) []*res
+}
+
+// Red 5 — the contract crosses the interface.
+func StaleIface(g gen) int {
+	a := g.Process(1)
+	g.Process(2)
+	return use(a) // want `ephemeral result a used after a subsequent call`
+}
+
+// Clean — each result is consumed before the next call.
+func Sequential(p *producer) int {
+	t := 0
+	for i := 0; i < 3; i++ {
+		rs := p.Process(i)
+		t += use(rs)
+	}
+	return t
+}
+
+// Clean — the values are copied out before the next call; only the
+// extracted ints survive.
+func Keep(p *producer) []int {
+	rs := p.Process(1)
+	var out []int
+	for _, r := range rs {
+		out = append(out, r.n)
+	}
+	_ = p.Process(2)
+	return out
+}
+
+// Clean — two producers have independent buffers; a call on one does
+// not invalidate the other's results.
+func TwoSources(p, q *producer) int {
+	a := p.Process(1)
+	b := q.Process(2)
+	return use(a) + use(b)
+}
+
+// Clean — ranging directly over the call consumes each round before
+// the next head evaluation.
+func RangeDirect(p *producer) int {
+	t := 0
+	for i := 0; i < 3; i++ {
+		for _, r := range p.Process(i) {
+			t += r.n
+		}
+	}
+	return t
+}

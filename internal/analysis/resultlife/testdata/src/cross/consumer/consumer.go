@@ -1,0 +1,41 @@
+// Package consumer is the importing half of the cross-package
+// resultlife fixture: nothing here is annotated, so every diagnostic
+// exists only if the producer's EphemeralFacts crossed the package
+// boundary.
+package consumer
+
+import (
+	"tvq/internal/analysis/resultlife/testdata/src/cross/prod"
+)
+
+type keeper struct{ last []*prod.Res }
+
+// Red — the annotated contract crossed the boundary.
+func Stale(g *prod.Gen) *prod.Res {
+	rs := g.Process(1)
+	g.Process(2)
+	return rs[0] // want `ephemeral result rs used after a subsequent call`
+}
+
+// Red — the derived contract (Latest) crossed too.
+func StaleDerived(g *prod.Gen) *prod.Res {
+	rs := prod.Latest(g)
+	g.Process(1)
+	return rs[0] // want `ephemeral result rs used after a subsequent call`
+}
+
+// Red — stored into state that outlives the call.
+func (k *keeper) Remember(g *prod.Gen) {
+	k.last = g.Process(3) // want `ephemeral result stored into state that outlives the call`
+}
+
+// Clean — copied out before the next call.
+func Sum(g *prod.Gen) int {
+	t := 0
+	for i := 0; i < 3; i++ {
+		for _, r := range g.Process(i) {
+			t += r.N
+		}
+	}
+	return t
+}

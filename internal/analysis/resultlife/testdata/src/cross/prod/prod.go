@@ -1,0 +1,24 @@
+// Package prod holds the annotated producer of the cross-package
+// resultlife fixture. Analyzing it exports EphemeralFacts for both the
+// annotated Process and the derived Latest helper; the consumer
+// package sees only the facts.
+package prod
+
+// Res is one result record.
+type Res struct{ N int }
+
+// Gen reuses its emission buffer between calls.
+type Gen struct{ emit []*Res }
+
+// Process returns the current results; valid only until the next call.
+//
+//tvq:ephemeral
+func (g *Gen) Process(x int) []*Res {
+	g.emit = g.emit[:0]
+	g.emit = append(g.emit, &Res{N: x})
+	return g.emit
+}
+
+// Latest passes Process's result through unchanged, so its
+// ephemerality is derived rather than annotated.
+func Latest(g *Gen) []*Res { return g.Process(0) }

@@ -1,6 +1,7 @@
 package retainset_test
 
 import (
+	"path/filepath"
 	"testing"
 
 	"tvq/internal/analysis"
@@ -10,9 +11,26 @@ import (
 func TestRetainset(t *testing.T) {
 	findings := analysis.RunFixture(t, retainset.Analyzer, "testdata/src/a")
 	// The fixture's red cases must stay red: a weakened analyzer that
-	// stops seeing the PR 5 aliasing store or the PR 6 Owned contract
-	// fails here even if the want comments were edited away.
-	if len(findings) < 5 {
-		t.Fatalf("retainset found %d diagnostics on the fixture, want at least 5", len(findings))
+	// stops seeing the PR 5 aliasing store, the PR 6 Owned contract, or
+	// the interprocedural escapes fails here even if the want comments
+	// were edited away.
+	if len(findings) < 8 {
+		t.Fatalf("retainset found %d diagnostics on the fixture, want at least 8", len(findings))
+	}
+}
+
+// TestRetainsetCrossPackage exercises the facts path end to end: the
+// retaining callees live in testdata/src/cross/helper, the flagged
+// call sites in .../cross/caller, and the diagnostics exist only if
+// the callee summaries survive the package boundary.
+func TestRetainsetCrossPackage(t *testing.T) {
+	findings := analysis.RunFixtureTree(t, retainset.Analyzer, "testdata/src/cross")
+	if len(findings) < 2 {
+		t.Fatalf("cross-package fixture produced %d diagnostics, want at least 2", len(findings))
+	}
+	for _, f := range findings {
+		if filepath.Base(filepath.Dir(f.File)) != "caller" {
+			t.Errorf("diagnostic outside the caller package: %s", f)
+		}
 	}
 }

@@ -11,6 +11,20 @@ type gen struct {
 	window  map[vr.FrameID]objset.Set
 	current objset.Set
 	frames  []objset.Set
+	cache   cache
+	seen    []vr.FrameID
+	nodes   []*node
+}
+
+// cache is helper-owned storage the interprocedural cases stash into.
+type cache struct {
+	sets []objset.Set
+}
+
+// node is a shared graph node: pointer-typed parameters of this type
+// are engine-owned by design, not borrows.
+type node struct {
+	objs objset.Set
 }
 
 // Red case 1 — the PR 5 aliasing bug: the window buffer retains the
@@ -87,4 +101,69 @@ func retain(f vr.Frame) objset.Set {
 		return objset.Compact(f.Objects)
 	}
 	return f.Objects.Clone()
+}
+
+// stash retains s in storage rooted at c — its summary records the
+// param-to-param escape, and callers that hand it engine state plus a
+// borrowed set are flagged at the call site.
+func stash(c *cache, s objset.Set) {
+	c.sets = append(c.sets, s)
+}
+
+// stashCloned is the owning variant: the clone breaks the alias.
+func stashCloned(c *cache, s objset.Set) {
+	c.sets = append(c.sets, s.Clone())
+}
+
+// firstSet's result aliases its argument — recorded in the summary's
+// result-alias row.
+func firstSet(fs []vr.Frame) objset.Set {
+	return fs[0].Objects
+}
+
+// Red case 6 — interprocedural retention: the helper stores its second
+// argument into storage rooted at its first; passing engine state as
+// the destination reproduces the PR 5 bug one call away.
+func (g *gen) StashBorrowed(s objset.Set) {
+	stash(&g.cache, s) // want `borrowed object set passed to stash`
+}
+
+// Red case 7 — aliasing return: the borrow flows through the helper's
+// result into engine state.
+func (g *gen) StoreFirst(fs []vr.Frame) {
+	g.current = firstSet(fs) // want `borrowed object set stored into engine state`
+}
+
+// Red case 8 — element-wise copy into state-rooted storage aliases the
+// same backing sets.
+func (g *gen) CopyIn(src []objset.Set) {
+	copy(g.frames, src) // want `borrowed object set copied into engine state`
+}
+
+// Clean: the helper clones before storing, so the summary is empty.
+func (g *gen) StashCloned(s objset.Set) {
+	stashCloned(&g.cache, s)
+}
+
+// Clean: scalar fields of a borrowed frame carry no borrow — only
+// set-carrying values do.
+func (g *gen) CountFrame(f vr.Frame) {
+	g.seen = append(g.seen, f.FID)
+}
+
+// Clean: pointer-typed parameters are shared engine-owned nodes, not
+// borrows; linking them into state is graph maintenance.
+func (g *gen) Adopt(n *node) {
+	g.nodes = append(g.nodes, n)
+}
+
+// Clean: the ownership-normalization idiom — consulting Owned and
+// cloning the unowned arm resolves ownership on every path out of the
+// branch, so the retention after the join is sanctioned.
+func (g *gen) PushNormalized(f vr.Frame) {
+	if !f.Owned {
+		f.Objects = f.Objects.Clone()
+		f.Owned = true
+	}
+	g.window[f.FID] = f.Objects
 }

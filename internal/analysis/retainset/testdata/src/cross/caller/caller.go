@@ -1,0 +1,40 @@
+// Package caller is the importing half of the cross-package retainset
+// fixture: every borrow it leaks flows through a helper defined one
+// package away, so each diagnostic below exists only if the callee's
+// SummaryFact crossed the package boundary.
+package caller
+
+import (
+	"tvq/internal/analysis/retainset/testdata/src/cross/helper"
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+type gen struct {
+	cache   helper.Cache
+	current objset.Set
+}
+
+// Red — the retention lives in helper.Keep; the bug is introduced
+// here, where engine state meets the borrowed set.
+func (g *gen) Stash(s objset.Set) {
+	helper.Keep(&g.cache, s) // want `borrowed object set passed to Keep`
+}
+
+// Red — the borrow flows through helper.First's aliasing result.
+func (g *gen) StoreFirst(fs []vr.Frame) {
+	g.current = helper.First(fs) // want `borrowed object set stored into engine state`
+}
+
+// Clean — the owning helper breaks the alias before storing.
+func (g *gen) StashCloned(s objset.Set) {
+	helper.KeepCloned(&g.cache, s)
+}
+
+// Clean — a local destination is not engine state, wherever the
+// retention happens.
+func (g *gen) LocalCache(s objset.Set) helper.Cache {
+	var c helper.Cache
+	helper.Keep(&c, s)
+	return c
+}

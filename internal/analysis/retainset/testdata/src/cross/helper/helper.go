@@ -1,0 +1,32 @@
+// Package helper holds the callees of the cross-package retainset
+// fixture. Analyzing this package exports their SummaryFacts; the
+// caller package — analyzed later, in dependency order — imports the
+// facts and reproduces the retention diagnostics at its call sites.
+package helper
+
+import (
+	"tvq/internal/objset"
+	"tvq/internal/vr"
+)
+
+// Cache is caller-visible storage a callee can retain into.
+type Cache struct {
+	Sets []objset.Set
+}
+
+// Keep retains s in c's storage without cloning: the summary records
+// the param-into-param escape.
+func Keep(c *Cache, s objset.Set) {
+	c.Sets = append(c.Sets, s)
+}
+
+// KeepCloned stores an owned copy; its summary stays empty.
+func KeepCloned(c *Cache, s objset.Set) {
+	c.Sets = append(c.Sets, s.Clone())
+}
+
+// First returns an alias of the first frame's object set: the summary
+// records that the result aliases the argument.
+func First(fs []vr.Frame) objset.Set {
+	return fs[0].Objects
+}

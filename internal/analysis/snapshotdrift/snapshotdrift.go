@@ -1,0 +1,857 @@
+// Package snapshotdrift cross-checks persisted state structs against
+// their encode/decode pairs. The snapshot subsystem's contract is
+// "restore then continue": every field the encoder persists must come
+// back through the decoder, and everything the decoder claims to
+// restore must actually be in the bytes. Nothing in the type system
+// ties the two functions together, so adding a field to a struct and
+// serializing it in encode but forgetting decode (or vice versa) is a
+// silent corruption that only a full snapshot round-trip test on the
+// right state shape would catch.
+//
+// The analyzer pairs functions by subject type: an encode half is a
+// function whose name contains "ncode" taking a *snapshot.Writer, with
+// the subject being its receiver or a struct parameter; a decode half
+// contains "ecode", takes a *snapshot.Reader, and its subject is the
+// receiver, a pointer parameter, or the returned struct. For each
+// subject the analyzer compares two field sets:
+//
+//   - persisted: top-level subject fields that flow into a call
+//     involving the writer (directly, through locals, or through
+//     closures that captured the writer);
+//   - restored: top-level subject fields assigned a reader-tainted
+//     value, or passed to a call alongside the reader.
+//
+// Asymmetry is drift, reported at whichever half is in the package
+// under analysis. Deliberate asymmetry stays quiet: a field written
+// without reader taint (rebuilt state like cached closures or
+// configuration supplied by the caller) is exempt, and a wholesale
+// hand-off — the subject itself passed into a writer call, or the
+// subject produced by an opaque call on tainted data — suppresses the
+// direction it could account for.
+//
+// Version constants (any constant whose name contains "version")
+// referenced by the two halves must agree by value; an encoder bumped
+// to v3 while the decoder still checks v2 is reported.
+//
+// Halves may live in different packages: each analyzed package merges
+// what it found into a DriftFact keyed on the subject's type name, so
+// a decoder in an importing package is checked against an encoder it
+// has never seen in source.
+package snapshotdrift
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tvq/internal/analysis"
+)
+
+const (
+	writerType = "tvq/internal/snapshot.Writer"
+	readerType = "tvq/internal/snapshot.Reader"
+)
+
+// DriftFact carries one subject's accumulated halves across package
+// boundaries. Field lists are sorted; Versions entries are
+// "name=value" strings.
+type DriftFact struct {
+	HasEnc      bool
+	EncFields   []string
+	EncOpaque   bool
+	EncVersions []string
+
+	HasDec      bool
+	DecFields   []string
+	DecOpaque   bool
+	DecVersions []string
+}
+
+// AFact marks DriftFact as a fact type.
+func (*DriftFact) AFact() {}
+
+// Analyzer is the snapshotdrift invariant checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotdrift",
+	Doc: "snapshotdrift: every field an encode function persists must be restored by the " +
+		"paired decode function and vice versa, and both must agree on version constants",
+	Run: run,
+}
+
+// half accumulates one side of a subject's codec within this package.
+type half struct {
+	fields   map[string]bool
+	opaque   bool
+	versions map[string]bool // "name=value"
+	pos      token.Pos       // first declaring FuncDecl seen locally
+}
+
+func newHalf() *half {
+	return &half{fields: make(map[string]bool), versions: make(map[string]bool)}
+}
+
+type subjectInfo struct {
+	tn  *types.TypeName
+	enc *half
+	dec *half
+}
+
+func run(pass *analysis.Pass) error {
+	subjects := make(map[*types.TypeName]*subjectInfo)
+	get := func(tn *types.TypeName) *subjectInfo {
+		si := subjects[tn]
+		if si == nil {
+			si = &subjectInfo{tn: tn}
+			subjects[tn] = si
+		}
+		return si
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if strings.Contains(name, "ncode") {
+				if w := paramOfType(pass.TypesInfo, fn, writerType); w != nil {
+					if tn, subj := encodeSubject(pass.TypesInfo, fn, w); tn != nil {
+						si := get(tn)
+						if si.enc == nil {
+							si.enc = newHalf()
+							si.enc.pos = fn.Name.Pos()
+						}
+						walkEncode(pass.TypesInfo, fn, w, subj, si.enc)
+					}
+				}
+			}
+			if strings.Contains(name, "ecode") {
+				if r := paramOfType(pass.TypesInfo, fn, readerType); r != nil {
+					if tn, subj := decodeSubject(pass.TypesInfo, fn, r); tn != nil {
+						si := get(tn)
+						if si.dec == nil {
+							si.dec = newHalf()
+							si.dec.pos = fn.Name.Pos()
+						}
+						walkDecode(pass.TypesInfo, fn, r, subj, tn, si.dec)
+					}
+				}
+			}
+		}
+	}
+
+	// Deterministic order for reports and fact export.
+	order := make([]*subjectInfo, 0, len(subjects))
+	for _, si := range subjects {
+		order = append(order, si)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return analysis.ObjectKey(order[i].tn) < analysis.ObjectKey(order[j].tn)
+	})
+
+	for _, si := range order {
+		var fact DriftFact
+		pass.ImportObjectFact(si.tn, &fact)
+		merged := mergeFact(fact, si)
+		if merged.HasEnc && merged.HasDec {
+			report(pass, si, merged)
+		}
+		pass.ExportObjectFact(si.tn, &merged)
+	}
+	return nil
+}
+
+func mergeFact(fact DriftFact, si *subjectInfo) DriftFact {
+	if si.enc != nil {
+		fact.HasEnc = true
+		fact.EncFields = mergeSet(fact.EncFields, si.enc.fields)
+		fact.EncOpaque = fact.EncOpaque || si.enc.opaque
+		fact.EncVersions = mergeSet(fact.EncVersions, si.enc.versions)
+	}
+	if si.dec != nil {
+		fact.HasDec = true
+		fact.DecFields = mergeSet(fact.DecFields, si.dec.fields)
+		fact.DecOpaque = fact.DecOpaque || si.dec.opaque
+		fact.DecVersions = mergeSet(fact.DecVersions, si.dec.versions)
+	}
+	return fact
+}
+
+func mergeSet(list []string, set map[string]bool) []string {
+	m := make(map[string]bool, len(list)+len(set))
+	for _, s := range list {
+		m[s] = true
+	}
+	for s := range set {
+		m[s] = true
+	}
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func report(pass *analysis.Pass, si *subjectInfo, m DriftFact) {
+	// Report at whichever half is local; prefer the half that holds the
+	// defect (the decoder for missing restores — that is where the fix
+	// goes — falling back to the other side for cross-package cases).
+	encPos, decPos := token.NoPos, token.NoPos
+	if si.enc != nil {
+		encPos = si.enc.pos
+	}
+	if si.dec != nil {
+		decPos = si.dec.pos
+	}
+	at := func(primary, fallback token.Pos) token.Pos {
+		if primary.IsValid() {
+			return primary
+		}
+		return fallback
+	}
+
+	dec := make(map[string]bool, len(m.DecFields))
+	for _, f := range m.DecFields {
+		dec[f] = true
+	}
+	enc := make(map[string]bool, len(m.EncFields))
+	for _, f := range m.EncFields {
+		enc[f] = true
+	}
+
+	if !m.DecOpaque {
+		for _, f := range m.EncFields {
+			if !dec[f] {
+				pass.Reportf(at(encPos, decPos),
+					"snapshot drift: field %s of %s is written by the encoder but never restored by the decoder",
+					f, si.tn.Name())
+			}
+		}
+	}
+	if !m.EncOpaque {
+		for _, f := range m.DecFields {
+			if !enc[f] {
+				pass.Reportf(at(decPos, encPos),
+					"snapshot drift: field %s of %s is restored by the decoder but never written by the encoder",
+					f, si.tn.Name())
+			}
+		}
+	}
+
+	if len(m.EncVersions) > 0 && len(m.DecVersions) > 0 &&
+		!sameValues(m.EncVersions, m.DecVersions) {
+		pass.Reportf(at(decPos, encPos),
+			"snapshot drift: encoder and decoder of %s disagree on version constants (%s vs %s)",
+			si.tn.Name(), strings.Join(m.EncVersions, ","), strings.Join(m.DecVersions, ","))
+	}
+}
+
+// sameValues compares the constant values behind "name=value" entries;
+// two differently named constants with the same value agree.
+func sameValues(a, b []string) bool {
+	vals := func(list []string) map[string]bool {
+		m := make(map[string]bool, len(list))
+		for _, s := range list {
+			if _, v, ok := strings.Cut(s, "="); ok {
+				m[v] = true
+			}
+		}
+		return m
+	}
+	va, vb := vals(a), vals(b)
+	if len(va) != len(vb) {
+		return false
+	}
+	for v := range va {
+		if !vb[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// paramOfType returns the object of the first parameter whose type is
+// T or *T for the given fully-qualified type string.
+func paramOfType(info *types.Info, fn *ast.FuncDecl, want string) types.Object {
+	for _, fld := range fn.Type.Params.List {
+		for _, name := range fld.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if typeString(t) == want {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// namedStruct returns the type name behind T or *T when its underlying
+// type is a struct, nil otherwise.
+func namedStruct(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n.Obj()
+}
+
+// encodeSubject resolves the struct an encode half serializes: the
+// receiver, else the first non-writer struct parameter.
+func encodeSubject(info *types.Info, fn *ast.FuncDecl, writer types.Object) (*types.TypeName, map[types.Object]bool) {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		obj := info.Defs[fn.Recv.List[0].Names[0]]
+		if obj != nil {
+			if tn := namedStruct(obj.Type()); tn != nil {
+				return tn, map[types.Object]bool{obj: true}
+			}
+		}
+	}
+	for _, fld := range fn.Type.Params.List {
+		for _, name := range fld.Names {
+			obj := info.Defs[name]
+			if obj == nil || obj == writer {
+				continue
+			}
+			if tn := namedStruct(obj.Type()); tn != nil {
+				return tn, map[types.Object]bool{obj: true}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// decodeSubject resolves the struct a decode half restores: the
+// receiver, else a pointer-to-struct parameter, else the returned
+// struct (whose locals are discovered from return statements).
+func decodeSubject(info *types.Info, fn *ast.FuncDecl, reader types.Object) (*types.TypeName, map[types.Object]bool) {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		obj := info.Defs[fn.Recv.List[0].Names[0]]
+		if obj != nil {
+			if tn := namedStruct(obj.Type()); tn != nil {
+				return tn, map[types.Object]bool{obj: true}
+			}
+		}
+	}
+	for _, fld := range fn.Type.Params.List {
+		for _, name := range fld.Names {
+			obj := info.Defs[name]
+			if obj == nil || obj == reader {
+				continue
+			}
+			if _, ok := obj.Type().(*types.Pointer); !ok {
+				continue
+			}
+			if tn := namedStruct(obj.Type()); tn != nil {
+				return tn, map[types.Object]bool{obj: true}
+			}
+		}
+	}
+	// Result-based subject: the first non-error struct result; subject
+	// variables are the roots of returned expressions of that type.
+	if fn.Type.Results == nil {
+		return nil, nil
+	}
+	var tn *types.TypeName
+	for _, fld := range fn.Type.Results.List {
+		t := info.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if cand := namedStruct(t); cand != nil {
+			tn = cand
+			break
+		}
+	}
+	if tn == nil {
+		return nil, nil
+	}
+	vars := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if root := rootIdentObj(info, res); root != nil {
+				if namedStruct(root.Type()) == tn {
+					vars[root] = true
+				}
+			}
+		}
+		return true
+	})
+	return tn, vars
+}
+
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// refs is what one expression mentions in subject terms.
+type refs struct {
+	fields    map[string]bool
+	wholesale bool // the subject itself, not one of its fields
+	methodOn  bool // a method called on the subject
+}
+
+// fnCtx is the per-function walk state shared across rounds.
+type fnCtx struct {
+	info   *types.Info
+	subj   map[types.Object]bool
+	dev    types.Object // the writer or reader parameter
+	locals map[types.Object]map[string]bool
+	// taint marks reader-derived locals (decode side only).
+	taint map[types.Object]bool
+	// devFns marks func-typed locals whose closure captured the device
+	// (encode side only: writeEdges-style helpers).
+	devFns map[types.Object]bool
+}
+
+func newFnCtx(info *types.Info, dev types.Object, subj map[types.Object]bool) *fnCtx {
+	return &fnCtx{
+		info:   info,
+		subj:   subj,
+		dev:    dev,
+		locals: make(map[types.Object]map[string]bool),
+		taint:  make(map[types.Object]bool),
+		devFns: make(map[types.Object]bool),
+	}
+}
+
+func (c *fnCtx) objOf(id *ast.Ident) types.Object {
+	if o := c.info.Uses[id]; o != nil {
+		return o
+	}
+	return c.info.Defs[id]
+}
+
+// firstField resolves a selector to its subject-root and first-level
+// selection: the root identifier reached through parens, stars,
+// indexing, slicing and type assertions, plus whether the selection is
+// a struct field. Returns nil root when the base is not a plain
+// identifier chain.
+func (c *fnCtx) firstField(sel *ast.SelectorExpr) (root types.Object, field string, isField bool) {
+	e := sel.X
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj, _ := c.info.Uses[sel.Sel].(*types.Var)
+			return c.objOf(x), sel.Sel.Name, obj != nil && obj.IsField()
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil, "", false
+		}
+	}
+}
+
+// collect gathers subject references in a subtree: first-level fields
+// (directly or through locals), wholesale subject mentions, and
+// methods invoked on the subject.
+func (c *fnCtx) collect(n ast.Node, out *refs) {
+	if n == nil {
+		return
+	}
+	covered := make(map[*ast.Ident]bool)
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.SelectorExpr:
+			root, field, isField := c.firstField(x)
+			if root == nil {
+				return true
+			}
+			if id, ok := x.X.(*ast.Ident); ok {
+				if c.subj[root] {
+					covered[id] = true
+					if isField {
+						out.fields[field] = true
+					} else {
+						out.methodOn = true
+					}
+				}
+			} else if c.subj[root] && isField {
+				// Root deeper in the chain (t.frames.entries visits
+				// both selectors; the inner one records the field).
+				out.fields[field] = true
+			}
+		case *ast.Ident:
+			obj := c.objOf(x)
+			if obj == nil {
+				return true
+			}
+			if c.subj[obj] && !covered[x] {
+				out.wholesale = true
+			}
+			for f := range c.locals[obj] {
+				out.fields[f] = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *fnCtx) collectRefs(n ast.Node) *refs {
+	out := &refs{fields: make(map[string]bool)}
+	c.collect(n, out)
+	return out
+}
+
+// mentions reports whether the subtree references obj, or (on the
+// encode side) calls a closure that captured it.
+func (c *fnCtx) mentions(n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			o := c.objOf(id)
+			if o == obj || (o != nil && c.devFns[o]) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// tainted reports whether the subtree derives from the reader: it
+// mentions the reader itself or any reader-tainted local.
+func (c *fnCtx) tainted(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok {
+			o := c.objOf(id)
+			if o == c.dev || (o != nil && c.taint[o]) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *fnCtx) addLocal(obj types.Object, fields map[string]bool) {
+	if obj == nil || len(fields) == 0 || c.subj[obj] {
+		return
+	}
+	m := c.locals[obj]
+	if m == nil {
+		m = make(map[string]bool)
+		c.locals[obj] = m
+	}
+	for f := range fields {
+		m[f] = true
+	}
+}
+
+// collectVersions records every constant whose name contains "version"
+// referenced anywhere in the body, as "name=value".
+func collectVersions(info *types.Info, body *ast.BlockStmt, out map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		cst, ok := info.Uses[id].(*types.Const)
+		if !ok || !strings.Contains(strings.ToLower(cst.Name()), "version") {
+			return true
+		}
+		out[fmt.Sprintf("%s=%s", cst.Name(), cst.Val())] = true
+		return true
+	})
+}
+
+// walkRounds runs the per-statement visitor over the body enough times
+// for local field-sets and taint to reach their (tiny) fixed point —
+// the maps only grow, and chains through locals are short.
+func walkRounds(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	for i := 0; i < 3; i++ {
+		ast.Inspect(body, visit)
+	}
+}
+
+// walkEncode accumulates the persisted field set of one encode half.
+func walkEncode(info *types.Info, fn *ast.FuncDecl, writer types.Object, subj map[types.Object]bool, h *half) {
+	c := newFnCtx(info, writer, subj)
+	collectVersions(info, fn.Body, h.versions)
+	walkRounds(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.encAssign(n)
+		case *ast.RangeStmt:
+			rr := c.collectRefs(n.X)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && e != nil {
+					c.addLocal(c.objOf(id), rr.fields)
+				}
+			}
+		case *ast.CallExpr:
+			if !c.mentions(n, writer) {
+				return true
+			}
+			rr := c.collectRefs(n)
+			for f := range rr.fields {
+				h.fields[f] = true
+			}
+			if rr.wholesale || rr.methodOn {
+				h.opaque = true
+			}
+		}
+		return true
+	})
+}
+
+func (c *fnCtx) encAssign(n *ast.AssignStmt) {
+	rhsFor := func(i int) ast.Expr {
+		if len(n.Rhs) == len(n.Lhs) {
+			return n.Rhs[i]
+		}
+		if len(n.Rhs) == 1 {
+			return n.Rhs[0]
+		}
+		return nil
+	}
+	for i, l := range n.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		rhs := rhsFor(i)
+		if rhs == nil {
+			continue
+		}
+		obj := c.objOf(id)
+		c.addLocal(obj, c.collectRefs(rhs).fields)
+		if fl, ok := rhs.(*ast.FuncLit); ok && obj != nil && c.mentions(fl, c.dev) {
+			c.devFns[obj] = true
+		}
+	}
+}
+
+// walkDecode accumulates the restored field set of one decode half.
+func walkDecode(info *types.Info, fn *ast.FuncDecl, reader types.Object, subj map[types.Object]bool, tn *types.TypeName, h *half) {
+	c := newFnCtx(info, reader, subj)
+	collectVersions(info, fn.Body, h.versions)
+	walkRounds(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.decAssign(n, tn, h)
+		case *ast.RangeStmt:
+			rr := c.collectRefs(n.X)
+			tainted := c.tainted(n.X)
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if e == nil {
+					continue
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					obj := c.objOf(id)
+					c.addLocal(obj, rr.fields)
+					if tainted && obj != nil {
+						c.taint[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			mentionsReader := c.mentions(n, reader)
+			var anyTaintedArg bool
+			for _, a := range n.Args {
+				if c.tainted(a) {
+					anyTaintedArg = true
+					break
+				}
+			}
+			rr := c.collectRefs(n)
+			if mentionsReader {
+				// Subject fields handed to a call together with the
+				// reader are restored in that call.
+				argRefs := &refs{fields: make(map[string]bool)}
+				for _, a := range n.Args {
+					c.collect(a, argRefs)
+				}
+				for f := range argRefs.fields {
+					h.fields[f] = true
+				}
+			}
+			if (rr.wholesale || rr.methodOn) && (anyTaintedArg || mentionsReader) {
+				// The subject flows through a call the analyzer cannot
+				// see into (t.setState(h, s)); assume it restores the
+				// unaccounted remainder.
+				h.opaque = true
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				c.decComposite(res, tn, h)
+			}
+		}
+		return true
+	})
+}
+
+func (c *fnCtx) decAssign(n *ast.AssignStmt, tn *types.TypeName, h *half) {
+	rhsFor := func(i int) ast.Expr {
+		if len(n.Rhs) == len(n.Lhs) {
+			return n.Rhs[i]
+		}
+		if len(n.Rhs) == 1 {
+			return n.Rhs[0]
+		}
+		return nil
+	}
+	for i, l := range n.Lhs {
+		rhs := rhsFor(i)
+		if rhs == nil {
+			continue
+		}
+		tainted := c.tainted(rhs)
+		if id, ok := unparen(l).(*ast.Ident); ok {
+			obj := c.objOf(id)
+			if obj == nil {
+				continue
+			}
+			// The subject never becomes "tainted" itself — otherwise a
+			// rebuilt closure over the subject (e.classOf) would look
+			// reader-derived; restores through it are tracked field by
+			// field instead.
+			if tainted && !c.subj[obj] {
+				c.taint[obj] = true
+			}
+			c.addLocal(obj, c.collectRefs(rhs).fields)
+			if c.subj[obj] {
+				// Whole-subject assignment: a composite literal names
+				// the restored fields; anything else is an opaque
+				// construction when reader-derived.
+				if !c.decComposite(rhs, tn, h) && tainted {
+					h.opaque = true
+				}
+			}
+			continue
+		}
+		// Field (or element-of-field) destination.
+		var sel *ast.SelectorExpr
+		for e := unparen(l); sel == nil; {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				sel = x
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				e = nil
+			}
+			if e == nil {
+				break
+			}
+		}
+		if sel == nil || !tainted {
+			continue
+		}
+		root, field, isField := c.firstField(sel)
+		if root == nil {
+			continue
+		}
+		if c.subj[root] && isField {
+			h.fields[field] = true
+		} else if lf := c.locals[root]; len(lf) > 0 {
+			// Writing through a local that aliases subject fields
+			// (w.eng = eng where w ranges over p.workers).
+			for f := range lf {
+				h.fields[f] = true
+			}
+		}
+	}
+}
+
+// decComposite records keyed fields of a subject-typed composite
+// literal whose values are reader-tainted; reports whether e was such
+// a literal.
+func (c *fnCtx) decComposite(e ast.Expr, tn *types.TypeName, h *half) bool {
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = unparen(u.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return false
+	}
+	t := c.info.TypeOf(cl)
+	if t == nil || namedStruct(t) != tn {
+		return false
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if c.tainted(kv.Value) {
+			h.fields[key.Name] = true
+		}
+	}
+	return true
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Path() })
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,34 @@
+package snapshotdrift_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tvq/internal/analysis"
+	"tvq/internal/analysis/snapshotdrift"
+)
+
+func TestSnapshotdrift(t *testing.T) {
+	findings := analysis.RunFixture(t, snapshotdrift.Analyzer, "testdata/src/a")
+	// The red cases must stay red: one field per drift direction plus
+	// the version disagreement.
+	if len(findings) < 3 {
+		t.Fatalf("snapshotdrift found %d diagnostics on the fixture, want at least 3", len(findings))
+	}
+}
+
+// TestSnapshotdriftCrossPackage exercises the DriftFact path: the
+// encoder lives in the wire package, the decoder in restore, and the
+// drift is only visible to a comparison that carried the encoder's
+// field set across the boundary.
+func TestSnapshotdriftCrossPackage(t *testing.T) {
+	findings := analysis.RunFixtureTree(t, snapshotdrift.Analyzer, "testdata/src/cross")
+	if len(findings) < 1 {
+		t.Fatalf("cross-package fixture produced %d diagnostics, want at least 1", len(findings))
+	}
+	for _, f := range findings {
+		if filepath.Base(filepath.Dir(f.File)) != "restore" {
+			t.Errorf("diagnostic outside the restore package: %s", f)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package a is the single-package snapshotdrift fixture: codec pairs
+// with one-sided fields (red), disagreeing version constants (red),
+// and the exemption idioms the real tree relies on (clean).
+package a
+
+import (
+	"errors"
+
+	"tvq/internal/snapshot"
+)
+
+// Red pair: drops is serialized but the decoder forgot it; cached is
+// restored from bytes the encoder never wrote.
+type stats struct {
+	frames int
+	states int
+	drops  int
+	cached int
+}
+
+func (s *stats) encode(w *snapshot.Writer) { // want `field drops of stats is written by the encoder but never restored`
+	w.Int(s.frames)
+	w.Int(s.states)
+	w.Int(s.drops)
+}
+
+func (s *stats) decode(r *snapshot.Reader) { // want `field cached of stats is restored by the decoder but never written`
+	s.frames = r.Int()
+	s.states = r.Int()
+	s.cached = r.Int()
+}
+
+// Red pair: symmetric fields, but the encoder stamps a version the
+// decoder does not accept.
+const histVersion = 2
+const histVersionLegacy = 1
+
+type hist struct{ buckets []int }
+
+func encodeHist(w *snapshot.Writer, h *hist) {
+	w.Uvarint(histVersion)
+	w.Uvarint(uint64(len(h.buckets)))
+	for _, b := range h.buckets {
+		w.Varint(int64(b))
+	}
+}
+
+func decodeHist(r *snapshot.Reader) (*hist, error) { // want `disagree on version constants`
+	if r.Uvarint() != histVersionLegacy {
+		return nil, errors.New("bad version")
+	}
+	h := &hist{}
+	n := int(r.Uvarint())
+	for i := 0; i < n; i++ {
+		h.buckets = append(h.buckets, int(r.Varint()))
+	}
+	return h, nil
+}
+
+// Clean pair: fields flow through locals on the way out, come back
+// through a composite literal and appends, and the rebuilt runtime
+// field (filled, assigned without reader taint) is exempt on both
+// sides.
+type window struct {
+	next   int
+	ids    []int
+	filled bool
+}
+
+func (t *window) encode(w *snapshot.Writer) {
+	w.Int(t.next)
+	ids := t.ids
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Int(id)
+	}
+}
+
+func decodeWindow(r *snapshot.Reader) *window {
+	t := &window{next: r.Int()}
+	n := int(r.Uvarint())
+	for i := 0; i < n; i++ {
+		t.ids = append(t.ids, r.Int())
+	}
+	t.filled = true
+	return t
+}
+
+// Clean pair: the encoder hands the whole subject to a closure that
+// captured the writer, and the decoder rebuilds it through an opaque
+// constructor on tainted data — wholesale hand-offs suppress the
+// field-level comparison in the direction they cover.
+type graph struct {
+	nodes []int
+	edges []int
+}
+
+func (g *graph) encode(w *snapshot.Writer) {
+	writeInts := func(vals []int) {
+		w.Uvarint(uint64(len(vals)))
+		for _, v := range vals {
+			w.Varint(int64(v))
+		}
+	}
+	writeInts(g.nodes)
+	writeInts(g.edges)
+}
+
+func newGraph(nodes, edges []int) *graph {
+	return &graph{nodes: nodes, edges: edges}
+}
+
+func decodeGraph(r *snapshot.Reader) *graph {
+	readInts := func() []int {
+		n := int(r.Uvarint())
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, int(r.Varint()))
+		}
+		return out
+	}
+	g := newGraph(readInts(), readInts())
+	return g
+}

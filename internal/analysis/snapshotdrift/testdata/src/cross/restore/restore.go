@@ -1,0 +1,22 @@
+// Package restore is the decoder half of the cross-package
+// snapshotdrift fixture: the subjects and their encoders live in the
+// wire package, so every diagnostic below exists only if the encoder's
+// DriftFact crossed the package boundary.
+package restore
+
+import (
+	"tvq/internal/analysis/snapshotdrift/testdata/src/cross/wire"
+	"tvq/internal/snapshot"
+)
+
+// Red — C is in the bytes but dropped on restore. (Both directions of
+// the drift report at this decoder: the encoder is not in this
+// package.)
+func Decode(r *snapshot.Reader) *wire.Record { // want `field C of Record is written by the encoder but never restored`
+	return &wire.Record{A: r.Int(), B: r.Int()}
+}
+
+// Clean — symmetric with wire.EncodePair.
+func DecodePair(r *snapshot.Reader) *wire.Pair {
+	return &wire.Pair{X: r.Int(), Y: r.Int()}
+}

@@ -1,0 +1,32 @@
+// Package wire holds the encoder half of the cross-package
+// snapshotdrift fixture; the decoder lives one package away and is
+// checked against the DriftFact exported here.
+package wire
+
+import "tvq/internal/snapshot"
+
+// Record is the persisted subject.
+type Record struct {
+	A int
+	B int
+	C int
+}
+
+// Encode persists all three fields.
+func Encode(w *snapshot.Writer, rec *Record) {
+	w.Int(rec.A)
+	w.Int(rec.B)
+	w.Int(rec.C)
+}
+
+// Pair is a second, symmetric subject whose decoder is also remote.
+type Pair struct {
+	X int
+	Y int
+}
+
+// EncodePair persists both fields.
+func EncodePair(w *snapshot.Writer, p *Pair) {
+	w.Int(p.X)
+	w.Int(p.Y)
+}

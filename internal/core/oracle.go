@@ -36,6 +36,8 @@ func (*Oracle) Name() string { return "ORACLE" }
 func (o *Oracle) StateCount() int { return len(o.window) }
 
 // Process implements Generator.
+//
+//tvq:ephemeral
 func (o *Oracle) Process(f vr.Frame) []*State {
 	if f.FID != o.next {
 		panic("core: frames must be processed in order starting at 0")

@@ -152,6 +152,7 @@ func (g *SSG) newNode(objects objset.Set, createdAt vr.FrameID) *ssgNode {
 // CNPS and result-set maintenance (§4.3.7).
 //
 //tvq:noalloc
+//tvq:ephemeral
 func (g *SSG) Process(f vr.Frame) []*State {
 	if f.FID != g.next {
 		panic("core: frames must be processed in order starting at 0")

@@ -328,6 +328,10 @@ func (s *State) Aggregate(nclasses int, classOf func(objset.ID) vr.Class) []int 
 // groups fed the same frame).
 type Generator interface {
 	Name() string
+	// Process consumes the next frame; see the interface doc for the
+	// full ownership contract on both sides of the call.
+	//
+	//tvq:ephemeral
 	Process(f vr.Frame) []*State
 	// StateCount reports the number of live states currently maintained,
 	// for instrumentation and benchmarks.

@@ -99,6 +99,7 @@ type pending struct {
 // Process implements Generator.
 //
 //tvq:noalloc
+//tvq:ephemeral
 func (t *table) Process(f vr.Frame) []*State {
 	if f.FID != t.next {
 		panic("core: frames must be processed in order starting at 0")

@@ -715,11 +715,17 @@ func (s Set) Union(t Set) Set {
 	return Compact(Set{ids: out})
 }
 
-// Minus returns s \ t. The result is freshly allocated (unless trivially
-// s or empty).
+// Minus returns s \ t. The caller owns the result: every path returns
+// freshly-allocated (or empty) storage, never an alias of s — callers
+// like State.fold retain the difference in long-lived state, and an
+// aliased fast-path result would couple that state to the producer's
+// reuse of s (the PR 5 bug class).
 func (s Set) Minus(t Set) Set {
-	if s.IsEmpty() || t.IsEmpty() {
-		return s
+	if s.IsEmpty() {
+		return Set{}
+	}
+	if t.IsEmpty() {
+		return s.Clone()
 	}
 	if s.words == nil && t.words == nil {
 		a, b := s.ids, t.ids

@@ -549,3 +549,22 @@ func TestTopOfIDSpace(t *testing.T) {
 		}
 	}
 }
+
+// TestMinusResultOwned pins the ownership contract of Minus: every
+// path, including the empty-operand fast paths, returns storage the
+// caller owns. State.fold retains the difference in long-lived state,
+// so an aliased fast-path result would couple that state to the
+// producer's reuse of the receiver (the PR 5 aliasing class —
+// retainset flagged the latent path).
+func TestMinusResultOwned(t *testing.T) {
+	s := New(1, 2, 3)
+	r := s.Minus(Empty) // fast path: empty subtrahend
+	// Shrink s in place; an aliased r would see its backing rewritten.
+	s.IntersectWith(New(2))
+	if r.Len() != 3 || !r.Contains(1) || !r.Contains(3) {
+		t.Fatalf("Minus result aliased receiver storage: %v", r)
+	}
+	if got := Empty.Minus(New(1)); !got.IsEmpty() {
+		t.Fatalf("Empty \\ x = %v, want empty", got)
+	}
+}

@@ -191,6 +191,15 @@ func (b *Buffer) Push(f vr.Frame, out []vr.Frame) ([]vr.Frame, error) {
 		}
 		return out, nil
 	}
+	// A borrowed frame's backing storage may be reused by the producer
+	// while the frame waits in pending (the JSONL codec reuses its scan
+	// buffers; see Frame.Owned). Take an owned copy up front —
+	// binary-codec frames arrive Owned and skip the clone. Classes stays
+	// shared: it is read-only by contract.
+	if !f.Owned {
+		f.Objects = f.Objects.Clone()
+		f.Owned = true
+	}
 	b.pending[f.FID] = f
 	if f.FID > b.maxSeen {
 		b.maxSeen = f.FID

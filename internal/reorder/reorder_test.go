@@ -467,3 +467,35 @@ func FuzzReorderBuffer(f *testing.F) {
 		}
 	})
 }
+
+// TestPushClonesBorrowedFrames pins the buffer's ownership discipline:
+// a frame pushed without Owned (the JSONL codec path) must not alias
+// the producer's storage while it waits in pending — the producer is
+// free to reuse its scan buffers between pushes. Binary-codec frames
+// arrive Owned and are stored as-is. Found by retainset's
+// interprocedural pass over Buffer.Push.
+func TestPushClonesBorrowedFrames(t *testing.T) {
+	b := New(3, Drop, 0)
+	f := frame(1, 10, 11, 12) // buffered: waits for frame 0
+	if f.Owned {
+		t.Fatal("test frame unexpectedly owned")
+	}
+	out := push(t, b, f)
+	if len(out) != 0 {
+		t.Fatalf("frame 1 released early: %v", out)
+	}
+	// Producer reuses the backing storage while frame 1 is pending.
+	f.Objects.IntersectWith(objset.New(10))
+
+	out = push(t, b, frame(0, 1))
+	if len(out) != 2 {
+		t.Fatalf("released %d frames, want 2", len(out))
+	}
+	got := out[1]
+	if !got.Objects.Equal(objset.New(10, 11, 12)) {
+		t.Fatalf("buffered frame aliased producer storage: %v", got.Objects)
+	}
+	if !got.Owned {
+		t.Fatal("released clone should be marked Owned")
+	}
+}

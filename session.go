@@ -471,41 +471,65 @@ func (s *Session) snapshotLocked(w io.Writer) error {
 		kind = payloadSessionV2
 	}
 	sw.String(kind)
-	s.mu.Lock()
-	ids := make([]int, 0, len(s.subs))
-	for id := range s.subs {
-		ids = append(ids, id)
-	}
-	s.mu.Unlock()
-	sort.Ints(ids)
-	sw.Uvarint(uint64(len(ids)))
-	for _, id := range ids {
-		sw.Int(id)
-	}
-	var buf bytes.Buffer
-	if err := s.proc.Snapshot(&buf); err != nil {
+	body, err := s.bodyLocked()
+	if err != nil {
 		return err
 	}
-	sw.Blob(buf.Bytes())
+	body.encode(&sw)
+	return snapshot.Write(w, sw.Bytes())
+}
+
+// bodyLocked collects the session's persistent state into the same
+// sessionBody shape the decoder produces, so the codec is a symmetric
+// pair over one struct.
+func (s *Session) bodyLocked() (sessionBody, error) {
+	var body sessionBody
+	s.mu.Lock()
+	for id := range s.subs {
+		body.subIDs = append(body.subIDs, id)
+	}
+	s.mu.Unlock()
+	sort.Ints(body.subIDs)
+	var buf bytes.Buffer
+	if err := s.proc.Snapshot(&buf); err != nil {
+		return sessionBody{}, err
+	}
+	body.procData = buf.Bytes()
 	if s.reorder != nil {
+		body.disordered = true
+		body.bound = s.cfg.disorder
+		body.late = s.cfg.late
+		body.buffers = s.reorder
+	}
+	return body, nil
+}
+
+// encode writes the body after the kind tag; the layout must mirror
+// decodeSessionBody exactly.
+func (body sessionBody) encode(sw *snapshot.Writer) {
+	sw.Uvarint(uint64(len(body.subIDs)))
+	for _, id := range body.subIDs {
+		sw.Int(id)
+	}
+	sw.Blob(body.procData)
+	if body.disordered {
 		// The reorder section: bound and policy once, then each feed's
 		// buffer (watermark, counters, buffered frames) in feed order. A
 		// snapshot taken mid-reassembly restores to the exact same
 		// mid-reassembly state.
-		sw.Uvarint(uint64(s.cfg.disorder))
-		sw.Uvarint(uint64(s.cfg.late))
-		feeds := make([]FeedID, 0, len(s.reorder))
-		for feed := range s.reorder {
+		sw.Uvarint(uint64(body.bound))
+		sw.Uvarint(uint64(body.late))
+		feeds := make([]FeedID, 0, len(body.buffers))
+		for feed := range body.buffers {
 			feeds = append(feeds, feed)
 		}
 		sort.Slice(feeds, func(i, j int) bool { return feeds[i] < feeds[j] })
 		sw.Uvarint(uint64(len(feeds)))
 		for _, feed := range feeds {
 			sw.Varint(int64(feed))
-			s.reorder[feed].Encode(&sw)
+			body.buffers[feed].Encode(sw)
 		}
 	}
-	return snapshot.Write(w, sw.Bytes())
 }
 
 // Resume rebuilds a session from a snapshot written by
